@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the three codecs over each data
+ * profile: compression/decompression throughput and achieved ratio
+ * (reported as a counter). Supports the Figure 5 discussion and the
+ * relative codec costs used in Section 6.3.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/registry.h"
+#include "workloads/data_profile.h"
+
+namespace {
+
+using namespace caba;
+
+constexpr int kLines = 512;
+
+std::vector<std::uint8_t>
+makeCorpus(DataProfile profile)
+{
+    std::vector<std::uint8_t> corpus(
+        static_cast<std::size_t>(kLines) * kLineSize);
+    for (int i = 0; i < kLines; ++i) {
+        generateProfileLine(profile, 42,
+                            static_cast<Addr>(i) * kLineSize,
+                            corpus.data() +
+                                static_cast<std::size_t>(i) * kLineSize);
+    }
+    return corpus;
+}
+
+void
+BM_Compress(benchmark::State &state)
+{
+    const auto algo = static_cast<Algorithm>(state.range(0));
+    const auto profile = static_cast<DataProfile>(state.range(1));
+    const Codec &codec = getCodec(algo);
+    const auto corpus = makeCorpus(profile);
+
+    std::uint64_t compressed_bytes = 0, lines = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kLines; ++i) {
+            const CompressedLine cl = codec.compress(
+                corpus.data() + static_cast<std::size_t>(i) * kLineSize);
+            benchmark::DoNotOptimize(cl.size());
+            compressed_bytes += static_cast<std::uint64_t>(cl.size());
+            ++lines;
+        }
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(lines) * kLineSize);
+    state.counters["ratio"] =
+        lines ? static_cast<double>(lines * kLineSize) /
+                    static_cast<double>(compressed_bytes)
+              : 0.0;
+    state.SetLabel(codec.name() + std::string("/") +
+                   dataProfileName(profile));
+}
+
+void
+BM_Decompress(benchmark::State &state)
+{
+    const auto algo = static_cast<Algorithm>(state.range(0));
+    const auto profile = static_cast<DataProfile>(state.range(1));
+    const Codec &codec = getCodec(algo);
+    const auto corpus = makeCorpus(profile);
+
+    std::vector<CompressedLine> compressed;
+    for (int i = 0; i < kLines; ++i) {
+        compressed.push_back(codec.compress(
+            corpus.data() + static_cast<std::size_t>(i) * kLineSize));
+    }
+    std::uint8_t out[kLineSize];
+    for (auto _ : state) {
+        for (const CompressedLine &cl : compressed) {
+            codec.decompress(cl, out);
+            benchmark::DoNotOptimize(out[0]);
+        }
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLines * kLineSize);
+    state.SetLabel(codec.name() + std::string("/") +
+                   dataProfileName(profile));
+}
+
+void
+CodecArgs(benchmark::internal::Benchmark *b)
+{
+    for (int algo : {static_cast<int>(Algorithm::Bdi),
+                     static_cast<int>(Algorithm::Fpc),
+                     static_cast<int>(Algorithm::CPack)}) {
+        for (int profile = 0; profile <= 6; ++profile)
+            b->Args({algo, profile});
+    }
+}
+
+BENCHMARK(BM_Compress)->Apply(CodecArgs);
+BENCHMARK(BM_Decompress)->Apply(CodecArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

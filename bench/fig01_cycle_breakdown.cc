@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 1: breakdown of total issue cycles (Compute Stalls, Memory
+ * Stalls, Data Dependence Stalls, Idle Cycles, Active Cycles) for the
+ * 27-application pool on the baseline GPU at 1/2x, 1x and 2x off-chip
+ * bandwidth. Paper finding: 17/27 apps are memory-bound, and for them
+ * Memory + Data Dependence stalls are ~61% of issue cycles at 1x BW,
+ * shrinking at 2x and growing at 1/2x.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/runner.h"
+
+using namespace caba;
+
+int
+main()
+{
+    ExperimentOptions opts;
+    printSystemConfig(opts);
+    std::printf("Figure 1: issue-cycle breakdown on the Base design\n\n");
+
+    const double bw_points[] = {0.5, 1.0, 2.0};
+    Table t({"app", "bound", "BW", "compute", "memory", "data-dep", "idle",
+             "active"});
+
+    struct Avg { double mem = 0, data = 0; int n = 0; };
+    std::vector<Avg> avg_mem_bound(3), avg_all(3);
+
+    for (const AppDescriptor &app : fig1Apps()) {
+        for (int b = 0; b < 3; ++b) {
+            ExperimentOptions o = opts;
+            o.bw_scale = bw_points[b];
+            const RunResult r = runApp(app, DesignConfig::base(), o);
+            const double total =
+                static_cast<double>(r.breakdown.total());
+            const double comp = r.breakdown.comp_stall / total;
+            const double mem = r.breakdown.mem_stall / total;
+            const double data = r.breakdown.data_stall / total;
+            const double idle = r.breakdown.idle / total;
+            const double act = r.breakdown.active / total;
+            t.addRow({app.name, app.memory_bound ? "Mem" : "Comp",
+                      Table::num(bw_points[b], 1) + "x", Table::pct(comp),
+                      Table::pct(mem), Table::pct(data), Table::pct(idle),
+                      Table::pct(act)});
+            if (app.memory_bound) {
+                avg_mem_bound[b].mem += mem;
+                avg_mem_bound[b].data += data;
+                ++avg_mem_bound[b].n;
+            }
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Memory-bound apps, Memory + Data-Dependence stall share "
+                "(paper: ~61%% at 1x, lower at 2x, higher at 1/2x):\n");
+    for (int b = 0; b < 3; ++b) {
+        const Avg &a = avg_mem_bound[b];
+        std::printf("  %.1fx BW: %s\n", bw_points[b],
+                    Table::pct((a.mem + a.data) / a.n).c_str());
+    }
+    return 0;
+}

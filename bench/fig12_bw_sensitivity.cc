@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 12: sensitivity to peak off-chip bandwidth — Base and CABA-BDI
+ * at 1/2x, 1x and 2x the Table 1 bandwidth. Paper finding: CABA at a
+ * given bandwidth often matches the baseline with double the bandwidth.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/sweep.h"
+
+using namespace caba;
+
+int
+main()
+{
+    ExperimentOptions opts;
+    printSystemConfig(opts);
+    std::printf("Figure 12: bandwidth sensitivity "
+                "(speedup vs 1x-Base)\n\n");
+
+    // Bake the bandwidth point into the design identity.
+    std::vector<DesignConfig> designs;
+    const double points[] = {0.5, 1.0, 2.0};
+    for (double p : points) {
+        DesignConfig b = DesignConfig::base();
+        b.name = Table::num(p, 1) + "x-Base";
+        designs.push_back(b);
+        DesignConfig c = DesignConfig::caba();
+        c.name = Table::num(p, 1) + "x-CABA";
+        designs.push_back(c);
+    }
+    auto tweak = [&](const DesignConfig &d, const ExperimentOptions &o) {
+        ExperimentOptions out = o;
+        out.bw_scale = d.name.substr(0, 3) == "0.5" ? 0.5
+                     : d.name.substr(0, 3) == "2.0" ? 2.0 : 1.0;
+        return out;
+    };
+
+    // A representative bandwidth-sensitive subset keeps the 6-point
+    // sweep tractable; the shape matches the full pool.
+    std::vector<AppDescriptor> apps;
+    for (const char *n :
+         {"CONS", "JPEG", "LPS", "MM", "PVC", "PVR", "SLA", "sssp"})
+        apps.push_back(findApp(n));
+    const Sweep sweep(apps, designs, opts, tweak);
+
+    Table t({"app", "0.5x-Base", "0.5x-CABA", "1x-Base", "1x-CABA",
+             "2x-Base", "2x-CABA"});
+    std::vector<std::vector<double>> cols(designs.size());
+    for (const std::string &app : sweep.appNames()) {
+        std::vector<std::string> row = {app};
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            const double s = sweep.speedup(app, designs[d].name,
+                                           "1.0x-Base");
+            cols[d].push_back(s);
+            row.push_back(Table::num(s));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> gm = {"GeoMean"};
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        gm.push_back(Table::num(geomean(cols[d])));
+    t.addRow(gm);
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Key comparisons (paper: CABA ~= doubling the off-chip "
+                "bandwidth):\n");
+    std::printf("  1x-CABA  vs 2x-Base: %.2f vs %.2f\n",
+                geomean(cols[3]), geomean(cols[4]));
+    std::printf("  0.5x-CABA vs 1x-Base: %.2f vs %.2f\n",
+                geomean(cols[1]), geomean(cols[2]));
+    return 0;
+}

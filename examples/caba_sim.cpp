@@ -1,0 +1,146 @@
+/**
+ * @file
+ * caba_sim — command-line front end for the simulator, in the spirit of
+ * a GPGPU-Sim run script: pick an app, a design, an algorithm and a few
+ * hardware knobs, get the full statistics dump.
+ *
+ * Usage:
+ *   caba_sim [--app NAME] [--design base|hw-mem|hw|caba|ideal]
+ *            [--algo bdi|fpc|cpack|best] [--bw SCALE] [--scale F]
+ *            [--md-kb N] [--l1-tags N] [--l2-tags N] [--verify]
+ *            [--memoize] [--prefetch] [--stats] [--list]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "harness/runner.h"
+
+using namespace caba;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "usage: caba_sim [options]\n"
+        "  --app NAME      application (default PVC); --list to see all\n"
+        "  --design D      base | hw-mem | hw | caba | ideal\n"
+        "  --algo A        bdi | fpc | cpack | best (default bdi)\n"
+        "  --bw F          off-chip bandwidth scale (default 1.0)\n"
+        "  --scale F       loop-trip multiplier (default 1.0)\n"
+        "  --md-kb N       MD cache capacity in KB (default 8)\n"
+        "  --l1-tags N     L1 compressed-cache tag factor (default 1)\n"
+        "  --l2-tags N     L2 compressed-cache tag factor (default 1)\n"
+        "  --verify        round-trip-check every compressed line\n"
+        "  --memoize       enable Section 7.1 memoization assist warps\n"
+        "  --prefetch      enable Section 7.2 prefetch assist warps\n"
+        "  --stats         dump every raw counter\n"
+        "  --list          list the application pool and exit\n");
+    std::exit(1);
+}
+
+Algorithm
+parseAlgo(const std::string &s)
+{
+    if (s == "bdi") return Algorithm::Bdi;
+    if (s == "fpc") return Algorithm::Fpc;
+    if (s == "cpack") return Algorithm::CPack;
+    if (s == "best") return Algorithm::BestOfAll;
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = "PVC";
+    std::string design_name = "caba";
+    Algorithm algo = Algorithm::Bdi;
+    ExperimentOptions opts;
+    int l1_tags = 1, l2_tags = 1;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--app") app_name = next();
+        else if (arg == "--design") design_name = next();
+        else if (arg == "--algo") algo = parseAlgo(next());
+        else if (arg == "--bw") opts.bw_scale = std::atof(next().c_str());
+        else if (arg == "--scale") opts.scale = std::atof(next().c_str());
+        else if (arg == "--md-kb")
+            opts.md_cache_kb = std::atoi(next().c_str());
+        else if (arg == "--l1-tags") l1_tags = std::atoi(next().c_str());
+        else if (arg == "--l2-tags") l2_tags = std::atoi(next().c_str());
+        else if (arg == "--verify") opts.verify = true;
+        else if (arg == "--memoize") opts.extras.memoize = true;
+        else if (arg == "--prefetch") opts.extras.prefetch = true;
+        else if (arg == "--stats") dump_stats = true;
+        else if (arg == "--list") {
+            Table t({"app", "suite", "bound", "in Fig1", "in study"});
+            for (const AppDescriptor &a : allApps()) {
+                t.addRow({a.name, a.suite,
+                          a.memory_bound ? "memory" : "compute",
+                          a.in_fig1 ? "yes" : "no",
+                          a.in_compression ? "yes" : "no"});
+            }
+            std::printf("%s", t.render().c_str());
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    DesignConfig design;
+    if (design_name == "base") design = DesignConfig::base();
+    else if (design_name == "hw-mem") design = DesignConfig::hwMem(algo);
+    else if (design_name == "hw") design = DesignConfig::hw(algo);
+    else if (design_name == "caba") design = DesignConfig::caba(algo);
+    else if (design_name == "ideal") design = DesignConfig::ideal(algo);
+    else usage();
+    design.l1_tag_factor = l1_tags;
+    design.l2_tag_factor = l2_tags;
+
+    const AppDescriptor &app = findApp(app_name);
+    if (app.memo_hit_rate > 0.0 && opts.extras.memoize)
+        opts.extras.memo_hit_rate = app.memo_hit_rate;
+
+    printSystemConfig(opts);
+    std::printf("Running %s under %s...\n\n", app.name.c_str(),
+                design.name.c_str());
+    const RunResult r = runApp(app, design, opts);
+
+    Table t({"metric", "value"});
+    t.addRow({"cycles", std::to_string(r.cycles)});
+    t.addRow({"instructions", std::to_string(r.instructions)});
+    t.addRow({"IPC", Table::num(r.ipc)});
+    t.addRow({"DRAM BW utilization", Table::pct(r.bw_utilization)});
+    t.addRow({"compression ratio", Table::num(r.compression_ratio)});
+    t.addRow({"MD cache hit rate", Table::pct(r.md_hit_rate)});
+    t.addRow({"energy (mJ)", Table::num(r.energy.total)});
+    t.addRow({"avg power (W)", Table::num(r.energy.watts(r.cycles))});
+    const auto tot = static_cast<double>(r.breakdown.total());
+    t.addRow({"active cycles", Table::pct(r.breakdown.active / tot)});
+    t.addRow({"memory stalls", Table::pct(r.breakdown.mem_stall / tot)});
+    t.addRow({"compute stalls", Table::pct(r.breakdown.comp_stall / tot)});
+    t.addRow({"data-dep stalls", Table::pct(r.breakdown.data_stall / tot)});
+    t.addRow({"idle cycles", Table::pct(r.breakdown.idle / tot)});
+    std::printf("%s", t.render().c_str());
+
+    if (dump_stats) {
+        std::printf("\nRaw counters:\n");
+        for (const auto &[k, v] : r.stats.all())
+            std::printf("  %-42s %llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+    }
+    return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table, saving one log per bench binary
+# into bench_results/ and a combined bench_output.txt at the repo root.
+#
+# Usage: scripts/run_all_benches.sh [build-dir]
+set -u
+BUILD=${1:-build}
+OUT=bench_results
+mkdir -p "$OUT"
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "=== $name ===" | tee -a bench_output.txt
+    "$b" 2>/dev/null | tee "$OUT/$name.txt" | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done
+echo "All bench logs in $OUT/, combined log in bench_output.txt"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Continuation runner: finishes the bench suite from fig08 onward at the
+# scale given in CABA_SCALE (the big fig07 sweep runs at full scale).
+set -u
+BUILD=${1:-build}
+OUT=bench_results
+mkdir -p "$OUT"
+for name in fig08_bw_utilization fig09_energy fig10_algorithms \
+            fig11_compression_ratio fig12_bw_sensitivity \
+            fig13_cache_compression md_cache_study; do
+    b="$BUILD/bench/$name"
+    [ -x "$b" ] || continue
+    echo "=== $name ==="
+    "$b" 2>/dev/null | tee "$OUT/$name.txt"
+    echo
+done

@@ -1,0 +1,111 @@
+#include "caba/awc.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+AssistWarpController::AssistWarpController(const CabaConfig &cfg)
+    : cfg_(cfg), window_(static_cast<std::size_t>(cfg.throttle_window), 1)
+{
+    CABA_CHECK(cfg_.awt_entries > 0, "AWT needs entries");
+    CABA_CHECK(cfg_.throttle_window > 0, "throttle window must be > 0");
+}
+
+bool
+AssistWarpController::hasRoom() const
+{
+    return static_cast<int>(table_.size()) < cfg_.awt_entries;
+}
+
+bool
+AssistWarpController::trigger(AssistWarp aw)
+{
+    if (!hasRoom()) {
+        ++rejections_;
+        return false;
+    }
+    aw.id = next_id_++;
+    CABA_CHECK(aw.code && !aw.code->empty(), "assist warp without code");
+    ++triggers_;
+    if (aw.priority == AssistPriority::High)
+        ++triggers_high_;
+    table_.push_back(std::move(aw));
+    return true;
+}
+
+bool
+AssistWarpController::eligible(const AssistWarp &aw) const
+{
+    if (aw.priority == AssistPriority::High)
+        return true;
+    // AWB staging: only the first awb_low_slots low-priority entries are
+    // in the instruction buffer partition.
+    int slot = 0;
+    for (const AssistWarp &other : table_) {
+        if (other.priority != AssistPriority::Low)
+            continue;
+        if (other.id == aw.id)
+            break;
+        ++slot;
+    }
+    if (slot >= cfg_.awb_low_slots)
+        return false;
+    if (cfg_.throttle && idleFraction() < cfg_.throttle_idle_floor)
+        return false;
+    return true;
+}
+
+void
+AssistWarpController::reapFinished(Cycle now, std::vector<AssistWarp> *out)
+{
+    for (std::size_t i = 0; i < table_.size();) {
+        AssistWarp &aw = table_[i];
+        if (aw.finishedIssuing() && aw.ready_at <= now) {
+            ++completions_;
+            out->push_back(std::move(aw));
+            table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+int
+AssistWarpController::killByToken(std::uint64_t token, AssistPurpose purpose)
+{
+    int killed = 0;
+    for (std::size_t i = 0; i < table_.size();) {
+        if (table_[i].token == token && table_[i].purpose == purpose) {
+            table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
+            ++killed;
+        } else {
+            ++i;
+        }
+    }
+    kills_ += static_cast<std::uint64_t>(killed);
+    return killed;
+}
+
+void
+AssistWarpController::noteIssueSlot(bool used)
+{
+    const std::uint8_t old = window_[static_cast<std::size_t>(window_pos_)];
+    const std::uint8_t neu = used ? 1 : 0;
+    window_idle_ += (old ? 0 : -1) + (neu ? 0 : 1);
+    window_[static_cast<std::size_t>(window_pos_)] = neu;
+    window_pos_ = (window_pos_ + 1) % cfg_.throttle_window;
+    window_filled_ = std::min(window_filled_ + 1, cfg_.throttle_window);
+}
+
+double
+AssistWarpController::idleFraction() const
+{
+    if (window_filled_ == 0)
+        return 1.0;
+    return static_cast<double>(window_idle_) /
+           static_cast<double>(cfg_.throttle_window);
+}
+
+} // namespace caba

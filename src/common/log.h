@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh: panic() for
+ * simulator bugs (aborts), fatal() for user/configuration errors (exits),
+ * and a checked assertion macro that prints context before aborting.
+ */
+#ifndef CABA_COMMON_LOG_H
+#define CABA_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caba {
+
+/** Aborts with a message; use for conditions that indicate a simulator bug. */
+[[noreturn]] inline void
+panic(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Exits with a message; use for invalid user configuration. */
+[[noreturn]] inline void
+fatal(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace caba
+
+#define CABA_PANIC(msg) ::caba::panic(__FILE__, __LINE__, (msg))
+#define CABA_FATAL(msg) ::caba::fatal(__FILE__, __LINE__, (msg))
+
+/** Always-on invariant check (independent of NDEBUG). */
+#define CABA_CHECK(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::caba::panic(__FILE__, __LINE__, (msg));                       \
+    } while (0)
+
+#endif // CABA_COMMON_LOG_H

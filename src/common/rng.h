@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random generator. Every stochastic
+ * element of the reproduction (data generators, irregular address streams)
+ * draws from an explicitly seeded Rng so runs are exactly repeatable.
+ */
+#ifndef CABA_COMMON_RNG_H
+#define CABA_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace caba {
+
+/** Small, fast, seedable PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Stateless 64-bit mix hash (splitmix64 finalizer). Used to derive
+ * deterministic per-line data from an address and a seed without storing
+ * the whole simulated memory image.
+ */
+inline std::uint64_t
+mixHash(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace caba
+
+#endif // CABA_COMMON_RNG_H

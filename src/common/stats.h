@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Subsystems register scalar
+ * counters by name; the harness dumps them, and tests assert on them.
+ * This is a deliberately tiny take on gem5's stats package: scalar
+ * counters and derived ratios only, no binning.
+ */
+#ifndef CABA_COMMON_STATS_H
+#define CABA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace caba {
+
+/** A flat bag of named uint64 counters with merge/format support. */
+class StatSet
+{
+  public:
+    /** Adds @p delta to counter @p name, creating it at zero if absent. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Sets counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of counter @p name (zero if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; 0 when the denominator is zero. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        const double d = static_cast<double>(get(den));
+        return d == 0.0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** Accumulates every counter of @p other into this set. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[k, v] : other.counters_)
+            counters_[k] += v;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace caba
+
+#endif // CABA_COMMON_STATS_H

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace caba {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    CABA_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    CABA_CHECK(row.size() == header_.size(), "row width != header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row, std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out += std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        emit_row(row, out);
+    return out;
+}
+
+} // namespace caba

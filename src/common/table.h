@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print the rows
+ * and series that correspond to the paper's tables and figures.
+ */
+#ifndef CABA_COMMON_TABLE_H
+#define CABA_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace caba {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Appends one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: formats a value as a percentage string ("41.7%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Renders the table, header first, columns padded to content width. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace caba
+
+#endif // CABA_COMMON_TABLE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental scalar types and architectural constants shared by every
+ * subsystem of the CABA reproduction.
+ */
+#ifndef CABA_COMMON_TYPES_H
+#define CABA_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace caba {
+
+/** Simulated clock cycle count (core clock domain unless noted). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** SIMT lane count per warp (Table 1: 32 threads/warp). */
+inline constexpr int kWarpSize = 32;
+
+/** Cache line / DRAM access granularity in bytes (GPGPU-Sim default:
+ *  128B lines; a line moves in 1-4 GDDR5 bursts, Section 4.3.2). */
+inline constexpr int kLineSize = 128;
+
+/** GDDR5 moves data in 32-byte bursts (paper Section 4.1.3). */
+inline constexpr int kBurstSize = 32;
+
+/** Number of 32B bursts in an uncompressed line. */
+inline constexpr int kBurstsPerLine = kLineSize / kBurstSize;
+
+/** Invalid / "no warp" sentinel. */
+inline constexpr int kInvalidWarp = -1;
+
+/** Rounds @p value up to the next multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr value, Addr align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p value down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr value, Addr align)
+{
+    return value & ~(align - 1);
+}
+
+/** Line-aligned base address of @p addr. */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return alignDown(addr, kLineSize);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace caba
+
+#endif // CABA_COMMON_TYPES_H

@@ -1,0 +1,248 @@
+#include "compress/bdi.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace caba {
+
+namespace {
+
+/** Base-delta encodings tried in order of decreasing savings. */
+constexpr std::array<BdiEncoding, 6> kBaseDeltaOrder = {
+    BdiEncoding::B8D1, BdiEncoding::B4D1, BdiEncoding::B8D2,
+    BdiEncoding::B2D1, BdiEncoding::B4D2, BdiEncoding::B8D4,
+};
+
+bool
+lineIsZero(const std::uint8_t *line)
+{
+    for (int i = 0; i < kLineSize; ++i)
+        if (line[i] != 0)
+            return false;
+    return true;
+}
+
+bool
+lineIsRepeated8(const std::uint8_t *line)
+{
+    for (int i = 8; i < kLineSize; ++i)
+        if (line[i] != line[i - 8])
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+bdiWordSize(BdiEncoding enc)
+{
+    switch (enc) {
+      case BdiEncoding::B8D1:
+      case BdiEncoding::B8D2:
+      case BdiEncoding::B8D4:
+        return 8;
+      case BdiEncoding::B4D1:
+      case BdiEncoding::B4D2:
+        return 4;
+      case BdiEncoding::B2D1:
+        return 2;
+      default:
+        CABA_PANIC("word size queried for non base-delta encoding");
+    }
+}
+
+int
+bdiDeltaSize(BdiEncoding enc)
+{
+    switch (enc) {
+      case BdiEncoding::B8D1:
+      case BdiEncoding::B4D1:
+      case BdiEncoding::B2D1:
+        return 1;
+      case BdiEncoding::B8D2:
+      case BdiEncoding::B4D2:
+        return 2;
+      case BdiEncoding::B8D4:
+        return 4;
+      default:
+        CABA_PANIC("delta size queried for non base-delta encoding");
+    }
+}
+
+bool
+BdiCodec::tryEncode(const std::uint8_t *line, BdiEncoding enc,
+                    CompressedLine *out) const
+{
+    const int word_b = bdiWordSize(enc);
+    const int delta_b = bdiDeltaSize(enc);
+    const int n = kLineSize / word_b;
+    const int mask_b = n / 8;
+
+    // Pick the first non-zero element as the explicit base; an implicit
+    // zero base covers small immediates (paper Section 4.1.1).
+    std::uint64_t base = 0;
+    bool have_base = false;
+    std::array<std::uint64_t, 64> vals{};
+    for (int i = 0; i < n; ++i) {
+        vals[i] = loadLe(line + i * word_b, word_b);
+        if (!have_base && vals[i] != 0) {
+            base = vals[i];
+            have_base = true;
+        }
+    }
+
+    // Deltas are word-width modular differences (the adder that
+    // reconstructs values truncates to the word size, so a delta that
+    // wraps the signed boundary is still exact).
+    const std::uint64_t word_mask =
+        word_b == 8 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << (8 * word_b)) - 1);
+    std::array<std::int64_t, 64> delta{};
+    std::uint64_t use_base_mask = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::int64_t d_base =
+            signExtend((vals[i] - base) & word_mask, word_b);
+        const std::int64_t d_zero = signExtend(vals[i], word_b);
+        if (have_base && fitsSigned(d_base, delta_b)) {
+            delta[i] = d_base;
+            use_base_mask |= std::uint64_t{1} << i;
+        } else if (fitsSigned(d_zero, delta_b)) {
+            delta[i] = d_zero;
+        } else {
+            return false;
+        }
+    }
+
+    const int total = 1 + mask_b + word_b + n * delta_b;
+    if (total >= kLineSize)
+        return false;
+
+    out->encoding = static_cast<int>(enc);
+    out->bytes.assign(static_cast<std::size_t>(total), 0);
+    std::uint8_t *p = out->bytes.data();
+    p[0] = static_cast<std::uint8_t>(enc);
+    storeLe(p + 1, mask_b, use_base_mask);
+    storeLe(p + 1 + mask_b, word_b, base);
+    for (int i = 0; i < n; ++i) {
+        storeLe(p + 1 + mask_b + word_b + i * delta_b, delta_b,
+                static_cast<std::uint64_t>(delta[i]));
+    }
+    return true;
+}
+
+CompressedLine
+BdiCodec::compress(const std::uint8_t *line) const
+{
+    CompressedLine cl;
+    if (lineIsZero(line)) {
+        cl.encoding = static_cast<int>(BdiEncoding::Zeros);
+        cl.bytes = {static_cast<std::uint8_t>(BdiEncoding::Zeros)};
+        return cl;
+    }
+    if (lineIsRepeated8(line)) {
+        cl.encoding = static_cast<int>(BdiEncoding::Repeat);
+        cl.bytes.assign(9, 0);
+        cl.bytes[0] = static_cast<std::uint8_t>(BdiEncoding::Repeat);
+        std::memcpy(cl.bytes.data() + 1, line, 8);
+        return cl;
+    }
+
+    if (preferred_ != BdiEncoding::Uncompressed) {
+        if (tryEncode(line, preferred_, &cl))
+            return cl;
+    } else {
+        CompressedLine best;
+        for (BdiEncoding enc : kBaseDeltaOrder) {
+            CompressedLine cand;
+            if (tryEncode(line, enc, &cand) &&
+                (best.bytes.empty() || cand.size() < best.size())) {
+                best = std::move(cand);
+            }
+        }
+        if (!best.bytes.empty())
+            return best;
+    }
+
+    cl.encoding = static_cast<int>(BdiEncoding::Uncompressed);
+    cl.bytes.assign(kLineSize, 0);
+    std::memcpy(cl.bytes.data(), line, kLineSize);
+    return cl;
+}
+
+void
+BdiCodec::decompress(const CompressedLine &cl, std::uint8_t *out) const
+{
+    const auto enc = static_cast<BdiEncoding>(cl.encoding);
+    const std::uint8_t *p = cl.bytes.data();
+    switch (enc) {
+      case BdiEncoding::Zeros:
+        std::memset(out, 0, kLineSize);
+        return;
+      case BdiEncoding::Repeat:
+        for (int i = 0; i < kLineSize; i += 8)
+            std::memcpy(out + i, p + 1, 8);
+        return;
+      case BdiEncoding::Uncompressed:
+        CABA_CHECK(cl.size() == kLineSize, "bad uncompressed BDI line");
+        std::memcpy(out, p, kLineSize);
+        return;
+      default:
+        break;
+    }
+
+    const int word_b = bdiWordSize(enc);
+    const int delta_b = bdiDeltaSize(enc);
+    const int n = kLineSize / word_b;
+    const int mask_b = n / 8;
+    CABA_CHECK(cl.size() == 1 + mask_b + word_b + n * delta_b,
+               "BDI compressed size mismatch");
+
+    const std::uint64_t use_base_mask = loadLe(p + 1, mask_b);
+    const std::int64_t base = signExtend(loadLe(p + 1 + mask_b, word_b),
+                                         word_b);
+    for (int i = 0; i < n; ++i) {
+        const std::int64_t d = signExtend(
+            loadLe(p + 1 + mask_b + word_b + i * delta_b, delta_b), delta_b);
+        const std::int64_t v = (use_base_mask >> i & 1) ? base + d : d;
+        storeLe(out + i * word_b, word_b, static_cast<std::uint64_t>(v));
+    }
+}
+
+SubroutineCost
+BdiCodec::decompressCost(const CompressedLine &cl) const
+{
+    // Paper Section 4.1.2: load compressed words into assist-warp
+    // registers, masked vector add of deltas to bases, store the expanded
+    // line back to the cache. One 32-wide ALU op covers 32 deltas; 8-byte
+    // words need only 8 lanes but still one issue slot.
+    const auto enc = static_cast<BdiEncoding>(cl.encoding);
+    switch (enc) {
+      case BdiEncoding::Zeros:
+        return {1, 1};          // splat zero + store line
+      case BdiEncoding::Repeat:
+        return {1, 2};          // load value, splat + store
+      case BdiEncoding::Uncompressed:
+        return {0, 0};          // never deployed
+      default: {
+        const int n = kLineSize / bdiWordSize(enc);
+        const int add_ops = divCeil(n, kWarpSize);
+        // load compressed line (1), unpack deltas (1), masked add(s),
+        // store uncompressed line (1 wide store).
+        return {1 + add_ops, 2};
+      }
+    }
+}
+
+SubroutineCost
+BdiCodec::compressCost() const
+{
+    // Test one encoding in the common case (Section 4.1.2): load line,
+    // compute deltas, per-lane fit predicate + global AND reduction, pack,
+    // store. Charged whether or not the encoding succeeds.
+    return {4, 2};
+}
+
+} // namespace caba

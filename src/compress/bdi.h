@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012), the
+ * algorithm the paper maps to CABA in Section 4.1. A line is encoded as
+ * one explicit base plus an implicit zero base and an array of narrow
+ * deltas; a per-element mask selects the base (paper Figure 5).
+ */
+#ifndef CABA_COMPRESS_BDI_H
+#define CABA_COMPRESS_BDI_H
+
+#include "compress/codec.h"
+
+namespace caba {
+
+/** BDI encodings, ordered roughly by compressed size. */
+enum class BdiEncoding : int {
+    Zeros = 0,      ///< Line is all zero bytes.
+    Repeat = 1,     ///< One 8-byte value repeated across the line.
+    B8D1 = 2,       ///< 8-byte words, 1-byte deltas.
+    B8D2 = 3,       ///< 8-byte words, 2-byte deltas.
+    B8D4 = 4,       ///< 8-byte words, 4-byte deltas.
+    B4D1 = 5,       ///< 4-byte words, 1-byte deltas.
+    B4D2 = 6,       ///< 4-byte words, 2-byte deltas.
+    B2D1 = 7,       ///< 2-byte words, 1-byte deltas.
+    Uncompressed = 8,
+    NumEncodings = 9,
+};
+
+/** Word size in bytes for a base-delta encoding. */
+int bdiWordSize(BdiEncoding enc);
+
+/** Delta size in bytes for a base-delta encoding. */
+int bdiDeltaSize(BdiEncoding enc);
+
+/**
+ * BDI codec.
+ *
+ * Layout of the compressed bytes:
+ *   [0]            metadata: encoding id
+ *   [1..maskB]     base-select bitmask (1 bit/element; only B*D* forms)
+ *   [..+wordB]     the explicit base (first non-zero element)
+ *   [..]           one delta per element (vs. base or vs. zero per mask)
+ *
+ * Decompression is a masked vector add of deltas to the selected base,
+ * exactly the operation the CABA subroutine performs on the SIMD pipeline.
+ */
+class BdiCodec final : public Codec
+{
+  public:
+    std::string name() const override { return "BDI"; }
+    CompressedLine compress(const std::uint8_t *line) const override;
+    void decompress(const CompressedLine &cl,
+                    std::uint8_t *out) const override;
+
+    /** Paper Section 5: 1-cycle HW decompression, 5-cycle compression. */
+    int hwDecompressLatency() const override { return 1; }
+    int hwCompressLatency() const override { return 5; }
+
+    SubroutineCost decompressCost(const CompressedLine &cl) const override;
+    SubroutineCost compressCost() const override;
+
+    /**
+     * Restricts compression to one base-delta encoding plus Zeros/Repeat,
+     * modelling the paper's single-encoding fast path for homogeneous
+     * data (Section 4.1.2). Pass BdiEncoding::Uncompressed to disable.
+     */
+    void setPreferredEncoding(BdiEncoding enc) { preferred_ = enc; }
+
+    /** Attempts exactly one base-delta encoding; internal + test hook. */
+    bool tryEncode(const std::uint8_t *line, BdiEncoding enc,
+                   CompressedLine *out) const;
+
+  private:
+    BdiEncoding preferred_ = BdiEncoding::Uncompressed;
+};
+
+} // namespace caba
+
+#endif // CABA_COMPRESS_BDI_H

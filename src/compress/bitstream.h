@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MSB-first bit packing helpers for the variable-length codecs (FPC and
+ * C-Pack), whose compressed words are not byte aligned.
+ */
+#ifndef CABA_COMPRESS_BITSTREAM_H
+#define CABA_COMPRESS_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace caba {
+
+/** Appends fields of up to 32 bits to a growing byte vector. */
+class BitWriter
+{
+  public:
+    /** Appends the low @p bits bits of @p value, MSB first. */
+    void
+    put(std::uint32_t value, int bits)
+    {
+        CABA_CHECK(bits >= 0 && bits <= 32, "bad field width");
+        for (int i = bits - 1; i >= 0; --i)
+            putBit((value >> i) & 1);
+    }
+
+    /** Total bits written so far. */
+    int bitCount() const { return bit_count_; }
+
+    /** The packed bytes (last byte zero-padded). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    void
+    putBit(std::uint32_t b)
+    {
+        const int off = bit_count_ & 7;
+        if (off == 0)
+            bytes_.push_back(0);
+        bytes_.back() |= static_cast<std::uint8_t>(b << (7 - off));
+        ++bit_count_;
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    int bit_count_ = 0;
+};
+
+/** Reads MSB-first fields from a byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, int size_bytes)
+        : data_(data), size_bits_(size_bytes * 8)
+    {}
+
+    /** Reads the next @p bits bits as an unsigned value. */
+    std::uint32_t
+    get(int bits)
+    {
+        CABA_CHECK(bits >= 0 && bits <= 32, "bad field width");
+        CABA_CHECK(pos_ + bits <= size_bits_, "bitstream overrun");
+        std::uint32_t v = 0;
+        for (int i = 0; i < bits; ++i) {
+            const int p = pos_ + i;
+            v = (v << 1) | ((data_[p >> 3] >> (7 - (p & 7))) & 1);
+        }
+        pos_ += bits;
+        return v;
+    }
+
+    int position() const { return pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    int size_bits_;
+    int pos_ = 0;
+};
+
+} // namespace caba
+
+#endif // CABA_COMPRESS_BITSTREAM_H

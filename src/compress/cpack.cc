@@ -1,0 +1,183 @@
+#include "compress/cpack.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "compress/bitstream.h"
+
+namespace caba {
+
+namespace {
+
+constexpr int kWordsPerLine = kLineSize / 4;
+constexpr std::uint8_t kMetaRaw = 0;
+constexpr std::uint8_t kMetaCpack = 1;
+
+/** FIFO dictionary shared (by construction order) by both directions. */
+class Dict
+{
+  public:
+    int
+    size() const
+    {
+        return count_;
+    }
+
+    std::uint32_t at(int i) const { return entries_[i]; }
+
+    void
+    push(std::uint32_t w)
+    {
+        entries_[head_] = w;
+        head_ = (head_ + 1) % CpackCodec::kDictEntries;
+        if (count_ < CpackCodec::kDictEntries)
+            ++count_;
+    }
+
+    /** Index of a full match, or -1. */
+    int
+    findFull(std::uint32_t w) const
+    {
+        for (int i = 0; i < count_; ++i)
+            if (entries_[i] == w)
+                return i;
+        return -1;
+    }
+
+    /** Index whose upper @p bytes bytes match @p w's, or -1. */
+    int
+    findPartial(std::uint32_t w, int bytes) const
+    {
+        const std::uint32_t mask = bytes == 3 ? 0xFFFFFF00u : 0xFFFF0000u;
+        for (int i = 0; i < count_; ++i)
+            if ((entries_[i] & mask) == (w & mask))
+                return i;
+        return -1;
+    }
+
+  private:
+    std::array<std::uint32_t, CpackCodec::kDictEntries> entries_{};
+    int head_ = 0;
+    int count_ = 0;
+};
+
+} // namespace
+
+CompressedLine
+CpackCodec::compress(const std::uint8_t *line) const
+{
+    BitWriter bw;
+    Dict dict;
+    for (int i = 0; i < kWordsPerLine; ++i) {
+        const auto w = static_cast<std::uint32_t>(loadLe(line + i * 4, 4));
+        if (w == 0) {
+            bw.put(0b00, 2);
+            continue;
+        }
+        if ((w & 0xFFFFFF00u) == 0) {
+            bw.put(0b1101, 4);
+            bw.put(w & 0xFF, 8);
+            continue;
+        }
+        int idx = dict.findFull(w);
+        if (idx >= 0) {
+            bw.put(0b10, 2);
+            bw.put(static_cast<std::uint32_t>(idx), 4);
+            continue;
+        }
+        idx = dict.findPartial(w, 3);
+        if (idx >= 0) {
+            bw.put(0b1110, 4);
+            bw.put(static_cast<std::uint32_t>(idx), 4);
+            bw.put(w & 0xFF, 8);
+            continue;
+        }
+        idx = dict.findPartial(w, 2);
+        if (idx >= 0) {
+            bw.put(0b1100, 4);
+            bw.put(static_cast<std::uint32_t>(idx), 4);
+            bw.put(w & 0xFFFF, 16);
+            continue;
+        }
+        bw.put(0b01, 2);
+        bw.put(w, 32);
+        dict.push(w);
+    }
+
+    CompressedLine cl;
+    const int packed = 1 + static_cast<int>(bw.bytes().size());
+    if (packed >= kLineSize) {
+        cl.encoding = kMetaRaw;
+        cl.bytes.assign(kLineSize, 0);
+        std::memcpy(cl.bytes.data(), line, kLineSize);
+        return cl;
+    }
+    cl.encoding = kMetaCpack;
+    cl.bytes.reserve(packed);
+    cl.bytes.push_back(kMetaCpack);
+    cl.bytes.insert(cl.bytes.end(), bw.bytes().begin(), bw.bytes().end());
+    return cl;
+}
+
+void
+CpackCodec::decompress(const CompressedLine &cl, std::uint8_t *out) const
+{
+    if (cl.encoding == kMetaRaw) {
+        CABA_CHECK(cl.size() == kLineSize, "bad raw C-Pack line");
+        std::memcpy(out, cl.bytes.data(), kLineSize);
+        return;
+    }
+    BitReader br(cl.bytes.data() + 1, cl.size() - 1);
+    Dict dict;
+    for (int i = 0; i < kWordsPerLine; ++i) {
+        std::uint32_t w = 0;
+        if (br.get(1) == 0) {                   // 0x
+            if (br.get(1) == 0) {               // 00 zzzz
+                w = 0;
+            } else {                            // 01 xxxx
+                w = br.get(32);
+                dict.push(w);
+            }
+        } else if (br.get(1) == 0) {            // 10 mmmm
+            const int idx = static_cast<int>(br.get(4));
+            CABA_CHECK(idx < dict.size(), "C-Pack dict index out of range");
+            w = dict.at(idx);
+        } else {                                // 11xx
+            const std::uint32_t sub = br.get(2);
+            if (sub == 0b00) {                  // 1100 mmxx
+                const int idx = static_cast<int>(br.get(4));
+                CABA_CHECK(idx < dict.size(), "C-Pack dict index");
+                w = (dict.at(idx) & 0xFFFF0000u) | br.get(16);
+            } else if (sub == 0b01) {           // 1101 zzzx
+                w = br.get(8);
+            } else if (sub == 0b10) {           // 1110 mmmx
+                const int idx = static_cast<int>(br.get(4));
+                CABA_CHECK(idx < dict.size(), "C-Pack dict index");
+                w = (dict.at(idx) & 0xFFFFFF00u) | br.get(8);
+            } else {
+                CABA_PANIC("reserved C-Pack code 1111");
+            }
+        }
+        storeLe(out + i * 4, 4, w);
+    }
+}
+
+SubroutineCost
+CpackCodec::decompressCost(const CompressedLine &cl) const
+{
+    // Dictionary reconstruction serializes decode; costliest of the three
+    // algorithms per invocation (paper Section 4.1.3).
+    if (cl.encoding == kMetaRaw)
+        return {0, 0};
+    return {8, 2};
+}
+
+SubroutineCost
+CpackCodec::compressCost() const
+{
+    return {10, 2};
+}
+
+} // namespace caba

@@ -1,0 +1,176 @@
+#include "compress/fpc.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "compress/bitstream.h"
+
+namespace caba {
+
+namespace {
+
+constexpr int kWordsPerLine = kLineSize / 4;
+constexpr std::uint8_t kMetaRaw = 0;
+constexpr std::uint8_t kMetaFpc = 1;
+
+/** Classifies one word; returns its pattern and payload. */
+FpcPattern
+classify(std::uint32_t w, std::uint32_t *payload, int *payload_bits)
+{
+    const auto s = static_cast<std::int32_t>(w);
+    if (s >= -8 && s < 8) {                         // covers zero too
+        *payload = w & 0xF;
+        *payload_bits = 4;
+        return FpcPattern::Se4;
+    }
+    if (s >= -128 && s < 128) {
+        *payload = w & 0xFF;
+        *payload_bits = 8;
+        return FpcPattern::Se8;
+    }
+    if (s >= -32768 && s < 32768) {
+        *payload = w & 0xFFFF;
+        *payload_bits = 16;
+        return FpcPattern::Se16;
+    }
+    if ((w & 0xFFFF) == 0) {
+        *payload = w >> 16;
+        *payload_bits = 16;
+        return FpcPattern::ZeroPadHalf;
+    }
+    const auto lo = static_cast<std::int16_t>(w & 0xFFFF);
+    const auto hi = static_cast<std::int16_t>(w >> 16);
+    if (lo >= -128 && lo < 128 && hi >= -128 && hi < 128) {
+        *payload = ((w >> 8) & 0xFF00) | (w & 0xFF);
+        *payload_bits = 16;
+        return FpcPattern::TwoSeBytes;
+    }
+    const std::uint32_t b = w & 0xFF;
+    if (w == (b * 0x01010101u)) {
+        *payload = b;
+        *payload_bits = 8;
+        return FpcPattern::RepBytes;
+    }
+    *payload = w;
+    *payload_bits = 32;
+    return FpcPattern::Raw;
+}
+
+} // namespace
+
+CompressedLine
+FpcCodec::compress(const std::uint8_t *line) const
+{
+    BitWriter bw;
+    int i = 0;
+    while (i < kWordsPerLine) {
+        const auto w = static_cast<std::uint32_t>(loadLe(line + i * 4, 4));
+        if (w == 0) {
+            int run = 1;
+            while (i + run < kWordsPerLine && run < 8 &&
+                   loadLe(line + (i + run) * 4, 4) == 0) {
+                ++run;
+            }
+            bw.put(static_cast<std::uint32_t>(FpcPattern::ZeroRun), 3);
+            bw.put(static_cast<std::uint32_t>(run - 1), 3);
+            i += run;
+            continue;
+        }
+        std::uint32_t payload = 0;
+        int bits = 0;
+        const FpcPattern pat = classify(w, &payload, &bits);
+        bw.put(static_cast<std::uint32_t>(pat), 3);
+        bw.put(payload, bits);
+        ++i;
+    }
+
+    CompressedLine cl;
+    const int packed = 1 + static_cast<int>(bw.bytes().size());
+    if (packed >= kLineSize) {
+        cl.encoding = kMetaRaw;
+        cl.bytes.assign(kLineSize, 0);
+        std::memcpy(cl.bytes.data(), line, kLineSize);
+        return cl;
+    }
+    cl.encoding = kMetaFpc;
+    cl.bytes.reserve(packed);
+    cl.bytes.push_back(kMetaFpc);
+    cl.bytes.insert(cl.bytes.end(), bw.bytes().begin(), bw.bytes().end());
+    return cl;
+}
+
+void
+FpcCodec::decompress(const CompressedLine &cl, std::uint8_t *out) const
+{
+    if (cl.encoding == kMetaRaw) {
+        CABA_CHECK(cl.size() == kLineSize, "bad raw FPC line");
+        std::memcpy(out, cl.bytes.data(), kLineSize);
+        return;
+    }
+    BitReader br(cl.bytes.data() + 1, cl.size() - 1);
+    int i = 0;
+    while (i < kWordsPerLine) {
+        const auto pat = static_cast<FpcPattern>(br.get(3));
+        std::uint32_t w = 0;
+        switch (pat) {
+          case FpcPattern::ZeroRun: {
+            const int run = static_cast<int>(br.get(3)) + 1;
+            for (int k = 0; k < run; ++k)
+                storeLe(out + (i + k) * 4, 4, 0);
+            i += run;
+            continue;
+          }
+          case FpcPattern::Se4: {
+            const std::uint32_t p = br.get(4);
+            w = (p & 0x8) ? (p | 0xFFFFFFF0u) : p;
+            break;
+          }
+          case FpcPattern::Se8:
+            w = static_cast<std::uint32_t>(signExtend(br.get(8), 1));
+            break;
+          case FpcPattern::Se16:
+            w = static_cast<std::uint32_t>(signExtend(br.get(16), 2));
+            break;
+          case FpcPattern::ZeroPadHalf:
+            w = br.get(16) << 16;
+            break;
+          case FpcPattern::TwoSeBytes: {
+            const std::uint32_t p = br.get(16);
+            const auto hi = static_cast<std::uint32_t>(
+                signExtend(p >> 8, 1)) & 0xFFFFu;
+            const auto lo = static_cast<std::uint32_t>(
+                signExtend(p & 0xFF, 1)) & 0xFFFFu;
+            w = (hi << 16) | lo;
+            break;
+          }
+          case FpcPattern::RepBytes:
+            w = br.get(8) * 0x01010101u;
+            break;
+          case FpcPattern::Raw:
+            w = br.get(32);
+            break;
+        }
+        storeLe(out + i * 4, 4, w);
+        ++i;
+    }
+}
+
+SubroutineCost
+FpcCodec::decompressCost(const CompressedLine &cl) const
+{
+    // Variable-length words serialize the unpack: the assist warp walks
+    // prefix groups with the coalescing/address-generation logic (paper
+    // Section 4.1.3), costing more issue slots than BDI's masked add.
+    if (cl.encoding == kMetaRaw)
+        return {0, 0};
+    return {6, 2};
+}
+
+SubroutineCost
+FpcCodec::compressCost() const
+{
+    return {8, 2};
+}
+
+} // namespace caba

@@ -1,0 +1,120 @@
+#include "compress/registry.h"
+
+#include "common/log.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+
+namespace caba {
+
+namespace {
+
+const BdiCodec kBdi;
+const FpcCodec kFpc;
+const CpackCodec kCpack;
+const BestOfAllCodec kBest;
+
+/** The three concrete algorithms BestOfAll arbitrates between. */
+constexpr Algorithm kConcrete[] = {Algorithm::Bdi, Algorithm::Fpc,
+                                   Algorithm::CPack};
+
+} // namespace
+
+const char *
+algorithmName(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::None: return "None";
+      case Algorithm::Bdi: return "BDI";
+      case Algorithm::Fpc: return "FPC";
+      case Algorithm::CPack: return "C-Pack";
+      case Algorithm::BestOfAll: return "BestOfAll";
+    }
+    return "?";
+}
+
+const Codec &
+getCodec(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::Bdi: return kBdi;
+      case Algorithm::Fpc: return kFpc;
+      case Algorithm::CPack: return kCpack;
+      case Algorithm::BestOfAll: return kBest;
+      case Algorithm::None: break;
+    }
+    CABA_PANIC("no codec for Algorithm::None");
+}
+
+Algorithm
+BestOfAllCodec::innerAlgorithm(int folded_encoding)
+{
+    return static_cast<Algorithm>(folded_encoding / 256);
+}
+
+int
+BestOfAllCodec::innerEncoding(int folded_encoding)
+{
+    return folded_encoding % 256;
+}
+
+CompressedLine
+BestOfAllCodec::compress(const std::uint8_t *line) const
+{
+    CompressedLine best;
+    Algorithm best_algo = Algorithm::Bdi;
+    for (Algorithm algo : kConcrete) {
+        CompressedLine cand = getCodec(algo).compress(line);
+        if (best.bytes.empty() || cand.size() < best.size()) {
+            best = std::move(cand);
+            best_algo = algo;
+        }
+    }
+    best.encoding = static_cast<int>(best_algo) * 256 + best.encoding;
+    return best;
+}
+
+void
+BestOfAllCodec::decompress(const CompressedLine &cl, std::uint8_t *out) const
+{
+    CompressedLine inner;
+    inner.bytes = cl.bytes;
+    inner.encoding = innerEncoding(cl.encoding);
+    getCodec(innerAlgorithm(cl.encoding)).decompress(inner, out);
+}
+
+int
+BestOfAllCodec::hwDecompressLatency() const
+{
+    return kCpack.hwDecompressLatency();    // conservative: worst of three
+}
+
+int
+BestOfAllCodec::hwCompressLatency() const
+{
+    return kCpack.hwCompressLatency();
+}
+
+SubroutineCost
+BestOfAllCodec::decompressCost(const CompressedLine &cl) const
+{
+    CompressedLine inner;
+    inner.bytes = cl.bytes;
+    inner.encoding = innerEncoding(cl.encoding);
+    return getCodec(innerAlgorithm(cl.encoding)).decompressCost(inner);
+}
+
+SubroutineCost
+BestOfAllCodec::compressCost() const
+{
+    // Testing all three algorithms on a store costs the sum of the parts.
+    SubroutineCost total;
+    for (Algorithm algo : kConcrete) {
+        const SubroutineCost c = getCodec(algo).compressCost();
+        total.alu_ops += c.alu_ops;
+        total.mem_ops += c.mem_ops;
+    }
+    return total;
+}
+
+} // namespace caba

@@ -1,0 +1,67 @@
+#include "energy/energy_model.h"
+
+namespace caba {
+
+double
+EnergyBreakdown::watts(Cycle cycles, double core_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles) / (core_ghz * 1e9);
+    return total * 1e-3 / seconds;
+}
+
+EnergyBreakdown
+computeEnergy(const StatSet &s, Cycle cycles, const EnergyParams &p)
+{
+    auto n = [&](const char *name) {
+        return static_cast<double>(s.get(name));
+    };
+
+    EnergyBreakdown e;
+
+    const double issued = n("sm_issued_alu") + n("sm_issued_sfu") +
+                          n("sm_issued_shmem") + n("sm_issued_branches") +
+                          n("sm_issued_global_loads") +
+                          n("sm_issued_global_stores") +
+                          n("sm_assist_instructions");
+    e.core = p.alu_op * (n("sm_issued_alu") + n("sm_assist_alu_issued")) +
+             p.sfu_op * n("sm_issued_sfu") +
+             p.shmem_op * (n("sm_issued_shmem") +
+                           n("sm_assist_mem_issued")) +
+             p.rf_access * issued;
+
+    e.l1 = p.l1_access * (n("l1_hits") + n("l1_misses"));
+    e.l2 = p.l2_access * (n("l2_hits") + n("l2_misses"));
+    e.xbar = p.xbar_flit * n("xbar_flits");
+    e.dram = p.dram_burst * n("dram_bursts") +
+             p.dram_activate * n("dram_activates") +
+             p.dram_static * static_cast<double>(cycles);
+
+    e.compression =
+        p.md_cache_access * n("part_md_lookups") +
+        p.hw_codec_line * (n("part_mc_decompressions") +
+                           n("part_mc_compressions") +
+                           n("sm_hw_l1_decompressions") +
+                           n("sm_hw_store_compressions")) +
+        p.aws_fetch * n("sm_assist_instructions");
+
+    e.static_energy = p.chip_static * static_cast<double>(cycles);
+
+    e.total = e.core + e.l1 + e.l2 + e.xbar + e.dram + e.compression +
+              e.static_energy;
+
+    // report in millijoules
+    const double to_mj = 1e-9;
+    e.core *= to_mj;
+    e.l1 *= to_mj;
+    e.l2 *= to_mj;
+    e.xbar *= to_mj;
+    e.dram *= to_mj;
+    e.compression *= to_mj;
+    e.static_energy *= to_mj;
+    e.total *= to_mj;
+    return e;
+}
+
+} // namespace caba

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Event-count energy model in the spirit of GPUWattch (paper Section 5):
+ * dynamic energy = per-event constants x counts gathered by the
+ * simulator; static energy = per-cycle constants x runtime. Constants
+ * are in picojoules, in the published ballpark for a 32nm-class GPU, and
+ * the figures only use ratios between designs.
+ */
+#ifndef CABA_ENERGY_ENERGY_MODEL_H
+#define CABA_ENERGY_ENERGY_MODEL_H
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace caba {
+
+/** Per-event and per-cycle energy constants (picojoules). */
+struct EnergyParams
+{
+    // core dynamic, per warp instruction
+    double alu_op = 150.0;
+    double sfu_op = 500.0;
+    double shmem_op = 150.0;
+    double rf_access = 100.0;       ///< Charged per issued instruction.
+
+    // memory hierarchy, per access
+    double l1_access = 300.0;
+    double l2_access = 600.0;
+    double xbar_flit = 500.0;
+    double dram_burst = 3500.0;
+    double dram_activate = 2000.0;
+
+    // compression machinery
+    double md_cache_access = 30.0;
+    double hw_codec_line = 150.0;   ///< Dedicated BDI logic per line.
+    double aws_fetch = 20.0;        ///< AWS read per assist instruction.
+
+    // static, per core cycle (whole chip / DRAM background)
+    double chip_static = 22000.0;
+    double dram_static = 8000.0;
+};
+
+/** Per-component dynamic+static totals, in millijoules. */
+struct EnergyBreakdown
+{
+    double core = 0.0;      ///< ALU/SFU/shmem/RF dynamic.
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double xbar = 0.0;
+    double dram = 0.0;
+    double compression = 0.0;   ///< MD cache + codecs + AWS overheads.
+    double static_energy = 0.0;
+    double total = 0.0;
+
+    /** Average power in watts at @p core_ghz for @p cycles. */
+    double watts(Cycle cycles, double core_ghz = 1.4) const;
+};
+
+/**
+ * Evaluates the model over the merged run statistics. Expected counter
+ * names are the ones GpuSystem::run() produces (sm_*, l1_*, part_*,
+ * dram_*, xbar_*).
+ */
+EnergyBreakdown computeEnergy(const StatSet &stats, Cycle cycles,
+                              const EnergyParams &params = {});
+
+} // namespace caba
+
+#endif // CABA_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,195 @@
+#include "gpu/gpu_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace caba {
+
+namespace {
+
+/** Applies the bandwidth scale to the per-burst bus time. */
+DramConfig
+scaledDram(DramConfig dram, double bw_scale)
+{
+    CABA_CHECK(bw_scale > 0.0, "bandwidth scale must be positive");
+    const double q = static_cast<double>(dram.burst_quarters) / bw_scale;
+    dram.burst_quarters = std::max(1, static_cast<int>(std::lround(q)));
+    return dram;
+}
+
+} // namespace
+
+GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
+                     LineGenerator gen)
+    : cfg_(cfg), design_(design), backing_(std::move(gen)),
+      aws_({cfg.sm.alu_latency, cfg.sm.l1_latency}),
+      req_net_(cfg.num_sms, cfg.num_partitions, cfg.xbar),
+      reply_net_(cfg.num_partitions, cfg.num_sms, cfg.xbar)
+{
+    if (design_.usesCompression()) {
+        model_ = std::make_unique<CompressionModel>(backing_, design_.algo,
+                                                    cfg_.verify_data);
+    }
+
+    PartitionConfig pcfg = cfg_.partition;
+    pcfg.dram = scaledDram(pcfg.dram, cfg_.bw_scale);
+    pcfg.dram.channels = cfg_.num_partitions;
+
+    for (int i = 0; i < cfg_.num_sms; ++i) {
+        sms_.push_back(std::make_unique<SmCore>(
+            i, cfg_.sm, design_, cfg_.caba, cfg_.extras, &aws_,
+            model_.get(), &backing_));
+    }
+    for (int i = 0; i < cfg_.num_partitions; ++i) {
+        partitions_.push_back(std::make_unique<MemoryPartition>(
+            i, pcfg, design_, model_.get()));
+    }
+}
+
+void
+GpuSystem::launch(const KernelInfo *kernel, int warps_per_sm)
+{
+    // Blocks/warps distribute round-robin across SMs (hardware block
+    // scheduler behaviour): SM i runs global warps i, i+N, i+2N, ...
+    for (int i = 0; i < cfg_.num_sms; ++i) {
+        sms_[static_cast<std::size_t>(i)]->launch(kernel, warps_per_sm, i,
+                                                  cfg_.num_sms);
+    }
+}
+
+int
+GpuSystem::partitionOf(Addr line) const
+{
+    // 256-byte interleave across partitions, GPGPU-Sim style.
+    return static_cast<int>((line >> 8) % cfg_.num_partitions);
+}
+
+void
+GpuSystem::moveTraffic()
+{
+    // SM request queues -> request crossbar.
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        SmCore &sm = *sms_[static_cast<std::size_t>(s)];
+        while (sm.hasOutgoing() && req_net_.canPush(s)) {
+            const int dest = partitionOf(sm.peekOutgoing().line);
+            req_net_.push(s, dest, sm.popOutgoing());
+        }
+    }
+    // Request crossbar deliveries -> partitions (with backpressure).
+    for (int p = 0; p < cfg_.num_partitions; ++p) {
+        MemoryPartition &part = *partitions_[static_cast<std::size_t>(p)];
+        while (req_net_.hasDelivery(p, now_) && part.canAccept())
+            part.accept(req_net_.popDelivery(p), now_);
+        // Partition replies -> reply crossbar.
+        while (!part.replies().empty() && reply_net_.canPush(p)) {
+            const MemRequest reply = part.replies().front();
+            part.replies().pop_front();
+            reply_net_.push(p, reply.src_sm, reply);
+        }
+    }
+    // Reply crossbar deliveries -> SM fills.
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        while (reply_net_.hasDelivery(s, now_))
+            sms_[static_cast<std::size_t>(s)]->deliver(
+                reply_net_.popDelivery(s), now_);
+    }
+}
+
+void
+GpuSystem::step()
+{
+    for (auto &sm : sms_)
+        sm->cycle(now_);
+    moveTraffic();
+    req_net_.cycle(now_);
+    reply_net_.cycle(now_);
+    for (auto &part : partitions_)
+        part->cycle(now_);
+    ++now_;
+}
+
+bool
+GpuSystem::done() const
+{
+    for (const auto &sm : sms_)
+        if (!sm->done())
+            return false;
+    if (req_net_.busy() || reply_net_.busy())
+        return false;
+    for (const auto &part : partitions_)
+        if (part->busy())
+            return false;
+    return true;
+}
+
+RunResult
+GpuSystem::run()
+{
+    while (!done()) {
+        step();
+        CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
+    }
+    return collect();
+}
+
+RunResult
+GpuSystem::collect() const
+{
+    RunResult r;
+    r.cycles = now_;
+
+    auto merge_prefixed = [&](const StatSet &src, const std::string &prefix) {
+        for (const auto &[k, v] : src.all())
+            r.stats.add(prefix + k, v);
+    };
+
+    for (const auto &sm : sms_) {
+        r.instructions += sm->instructionsIssued();
+        const CycleBreakdown &b = sm->breakdown();
+        r.breakdown.active += b.active;
+        r.breakdown.mem_stall += b.mem_stall;
+        r.breakdown.comp_stall += b.comp_stall;
+        r.breakdown.data_stall += b.data_stall;
+        r.breakdown.idle += b.idle;
+        merge_prefixed(sm->stats(), "sm_");
+        merge_prefixed(sm->l1().stats(), "l1_");
+        merge_prefixed(sm->awc().stats(), "awc_");
+    }
+
+    double bw = 0.0;
+    double md_hits = 0.0, md_total = 0.0;
+    for (const auto &part : partitions_) {
+        bw += part->dramBusUtilization(r.cycles);
+        merge_prefixed(part->stats(), "part_");
+        merge_prefixed(part->l2().stats(), "l2_");
+        merge_prefixed(part->dram().stats(), "dram_");
+        md_hits += static_cast<double>(part->mdCache().stats().get("hits"));
+        md_total +=
+            static_cast<double>(part->mdCache().stats().get("hits") +
+                                part->mdCache().stats().get("misses"));
+    }
+    r.bw_utilization = bw / static_cast<double>(cfg_.num_partitions);
+    r.md_hit_rate = md_total > 0.0 ? md_hits / md_total : 0.0;
+
+    merge_prefixed(req_net_.stats(), "xbar_");
+    merge_prefixed(reply_net_.stats(), "xbar_");
+
+    if (model_)
+        merge_prefixed(model_->stats(), "model_");
+
+    const double comp = static_cast<double>(
+        r.stats.get("part_transfer_bursts"));
+    const double uncomp = static_cast<double>(
+        r.stats.get("part_transfer_bursts_uncompressed"));
+    r.compression_ratio = comp > 0.0 ? uncomp / comp : 1.0;
+
+    r.ipc = r.cycles > 0
+        ? static_cast<double>(r.instructions) / static_cast<double>(r.cycles)
+        : 0.0;
+    r.energy = computeEnergy(r.stats, r.cycles);
+    return r;
+}
+
+} // namespace caba

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Top-level simulated GPU (Table 1): SMs, the two crossbar directions,
+ * memory partitions (L2 slice + GDDR5 channel each), the shared
+ * compression model, and the run loop that advances everything one core
+ * cycle at a time and aggregates the statistics every figure needs.
+ */
+#ifndef CABA_GPU_GPU_SYSTEM_H
+#define CABA_GPU_GPU_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "caba/aws.h"
+#include "common/stats.h"
+#include "energy/energy_model.h"
+#include "gpu/design.h"
+#include "mem/backing_store.h"
+#include "mem/compression_model.h"
+#include "mem/partition.h"
+#include "mem/xbar.h"
+#include "sim/sm_core.h"
+
+namespace caba {
+
+/** Whole-GPU configuration (defaults = Table 1). */
+struct GpuConfig
+{
+    int num_sms = 15;
+    int num_partitions = 6;
+
+    SmConfig sm{};
+    PartitionConfig partition{};
+    XbarConfig xbar{};
+    CabaConfig caba{};
+    ExtrasConfig extras{};
+
+    /**
+     * Off-chip bandwidth scale: 1.0 = the paper's 177.4 GB/s, 0.5 and
+     * 2.0 are the Figure 1 / Figure 12 sensitivity points.
+     */
+    double bw_scale = 1.0;
+
+    /** Round-trip-verify every compressed line (tests on, benches off). */
+    bool verify_data = true;
+
+    /** Safety valve against a wedged simulation. */
+    Cycle max_cycles = 20'000'000;
+};
+
+/** Everything the benches and tests read out of one simulation. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    double bw_utilization = 0.0;        ///< Mean DRAM data-bus busy frac.
+    double compression_ratio = 1.0;     ///< Uncompressed/compressed bursts.
+    double md_hit_rate = 0.0;
+    CycleBreakdown breakdown;
+    EnergyBreakdown energy;
+    StatSet stats;                      ///< Merged, prefixed counters.
+};
+
+/** The simulated GPU. */
+class GpuSystem
+{
+  public:
+    /**
+     * @param cfg     hardware configuration
+     * @param design  one of the Section 6 design points
+     * @param gen     workload data generator (pristine memory image)
+     */
+    GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
+              LineGenerator gen);
+
+    /** Launches @p warps_per_sm warps of @p kernel on every SM. */
+    void launch(const KernelInfo *kernel, int warps_per_sm);
+
+    /** Runs to completion (all warps retired, all queues drained). */
+    RunResult run();
+
+    /** Single-cycle step (exposed for tests). */
+    void step();
+    Cycle now() const { return now_; }
+    bool done() const;
+
+    SmCore &sm(int i) { return *sms_[static_cast<std::size_t>(i)]; }
+    MemoryPartition &partition(int i)
+    {
+        return *partitions_[static_cast<std::size_t>(i)];
+    }
+    BackingStore &backing() { return backing_; }
+    CompressionModel *model() { return model_.get(); }
+
+  private:
+    int partitionOf(Addr line) const;
+    void moveTraffic();
+    RunResult collect() const;
+
+    GpuConfig cfg_;
+    DesignConfig design_;
+    BackingStore backing_;
+    std::unique_ptr<CompressionModel> model_;
+    AssistWarpStore aws_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    std::vector<std::unique_ptr<MemoryPartition>> partitions_;
+    XbarDirection req_net_;
+    XbarDirection reply_net_;
+    Cycle now_ = 0;
+};
+
+} // namespace caba
+
+#endif // CABA_GPU_GPU_SYSTEM_H

@@ -1,0 +1,90 @@
+#include "harness/runner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace caba {
+
+double
+scaleFromEnv(double fallback)
+{
+    const char *env = std::getenv("CABA_SCALE");
+    if (!env)
+        return fallback;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : fallback;
+}
+
+GpuConfig
+makeGpuConfig(const ExperimentOptions &opts)
+{
+    GpuConfig cfg;
+    cfg.bw_scale = opts.bw_scale;
+    cfg.verify_data = opts.verify;
+    cfg.extras = opts.extras;
+    cfg.caba = opts.caba;
+    cfg.partition.md_size_bytes = opts.md_cache_kb * 1024;
+    return cfg;
+}
+
+RunResult
+runApp(const AppDescriptor &app, const DesignConfig &design,
+       const ExperimentOptions &opts)
+{
+    Workload wl(app, opts.scale * scaleFromEnv());
+    GpuConfig cfg = makeGpuConfig(opts);
+
+    // Section 3.2.2: assist-warp registers are added to the per-block
+    // requirement; occupancy may drop if they do not fit the free pool.
+    const int assist = design.usesCaba() ? opts.assist_regs : 0;
+    const int warps = wl.warpsPerSm(assist, cfg.sm.max_warps);
+    wl.bindGrid(warps * cfg.num_sms);
+
+    GpuSystem gpu(cfg, design, wl.lineGenerator());
+    gpu.launch(&wl, warps);
+    return gpu.run();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    int n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / n);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+printSystemConfig(const ExperimentOptions &opts)
+{
+    const GpuConfig cfg = makeGpuConfig(opts);
+    std::printf(
+        "System (Table 1): %d SMs, %d warps/SM, GTO, %d schedulers/SM, "
+        "%dKB L1/SM, %dKB L2 total, %d GDDR5 MCs, BW scale %.2fx, "
+        "workload scale %.2fx\n\n",
+        cfg.num_sms, cfg.sm.max_warps, cfg.sm.schedulers,
+        cfg.sm.l1.size_bytes / 1024,
+        cfg.partition.l2.size_bytes * cfg.num_partitions / 1024,
+        cfg.num_partitions, opts.bw_scale, opts.scale * scaleFromEnv());
+}
+
+} // namespace caba

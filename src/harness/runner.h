@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment runner shared by the bench binaries: builds a Workload and
+ * a GpuSystem for an (application, design) pair, applies the CABA
+ * register accounting to occupancy, runs to completion, and offers the
+ * small statistics helpers the figure tables need.
+ */
+#ifndef CABA_HARNESS_RUNNER_H
+#define CABA_HARNESS_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_system.h"
+#include "workloads/workload.h"
+
+namespace caba {
+
+/** Knobs common to every experiment. */
+struct ExperimentOptions
+{
+    /** Loop-trip multiplier; CABA_SCALE env overrides (see scaleFromEnv). */
+    double scale = 1.0;
+
+    /** Off-chip bandwidth relative to Table 1 (Figures 1 and 12). */
+    double bw_scale = 1.0;
+
+    /** Per-thread registers reserved for assist warps (Section 3.2.2).
+     *  BDI subroutines are register-light; 2 per thread (64 per warp)
+     *  usually fits the unallocated pool of Figure 2. */
+    int assist_regs = 2;
+
+    /** Functional round-trip verification of every compressed line. */
+    bool verify = false;
+
+    /** Section 7 extras (memoization / prefetching ablations). */
+    ExtrasConfig extras{};
+
+    /** CABA framework knobs (AWB slots, throttle, priorities...). */
+    CabaConfig caba{};
+
+    /** MD cache capacity in KB (Section 4.3.2 study). */
+    int md_cache_kb = 8;
+};
+
+/** Reads CABA_SCALE from the environment (default @p fallback). */
+double scaleFromEnv(double fallback = 1.0);
+
+/** Builds the Table 1 GpuConfig for @p opts (and @p design). */
+GpuConfig makeGpuConfig(const ExperimentOptions &opts);
+
+/** Runs @p app under @p design; returns the collected results. */
+RunResult runApp(const AppDescriptor &app, const DesignConfig &design,
+                 const ExperimentOptions &opts = {});
+
+/** Geometric mean (ignores non-positive entries). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Prints the Table 1 system summary header once per bench. */
+void printSystemConfig(const ExperimentOptions &opts);
+
+} // namespace caba
+
+#endif // CABA_HARNESS_RUNNER_H

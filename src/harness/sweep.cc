@@ -1,0 +1,47 @@
+#include "harness/sweep.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace caba {
+
+Sweep::Sweep(const std::vector<AppDescriptor> &apps,
+             const std::vector<DesignConfig> &designs,
+             const ExperimentOptions &opts,
+             const std::function<ExperimentOptions(
+                 const DesignConfig &, const ExperimentOptions &)> &tweak)
+{
+    for (const DesignConfig &d : designs)
+        design_names_.push_back(d.name);
+    for (const AppDescriptor &app : apps) {
+        app_names_.push_back(app.name);
+        for (const DesignConfig &d : designs) {
+            const ExperimentOptions o = tweak ? tweak(d, opts) : opts;
+            std::fprintf(stderr, "  [sweep] %-6s x %-14s ...\r",
+                         app.name.c_str(), d.name.c_str());
+            std::fflush(stderr);
+            cells_.emplace(std::make_pair(app.name, d.name),
+                           runApp(app, d, o));
+        }
+    }
+    std::fprintf(stderr, "%48s\r", "");
+}
+
+const RunResult &
+Sweep::at(const std::string &app, const std::string &design) const
+{
+    auto it = cells_.find({app, design});
+    CABA_CHECK(it != cells_.end(), "sweep cell missing");
+    return it->second;
+}
+
+double
+Sweep::speedup(const std::string &app, const std::string &design,
+               const std::string &base_design) const
+{
+    return static_cast<double>(at(app, base_design).cycles) /
+           static_cast<double>(at(app, design).cycles);
+}
+
+} // namespace caba

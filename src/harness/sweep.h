@@ -1,0 +1,55 @@
+/**
+ * @file
+ * App x design sweep driver shared by the figure benches: runs every
+ * combination, keeps the results addressable by (app, design), and
+ * provides the normalized-metric helpers the figures print.
+ */
+#ifndef CABA_HARNESS_SWEEP_H
+#define CABA_HARNESS_SWEEP_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace caba {
+
+/** Results of a full sweep, addressable by (app name, design name). */
+class Sweep
+{
+  public:
+    /**
+     * Runs every app under every design. @p tweak, when given, can
+     * adjust options per design (e.g. bandwidth scale baked into the
+     * design identity for Figure 12).
+     */
+    Sweep(const std::vector<AppDescriptor> &apps,
+          const std::vector<DesignConfig> &designs,
+          const ExperimentOptions &opts,
+          const std::function<ExperimentOptions(
+              const DesignConfig &, const ExperimentOptions &)> &tweak = {});
+
+    const RunResult &at(const std::string &app,
+                        const std::string &design) const;
+
+    /** design/app cycles normalized to @p base_design (speedup). */
+    double speedup(const std::string &app, const std::string &design,
+                   const std::string &base_design) const;
+
+    const std::vector<std::string> &appNames() const { return app_names_; }
+    const std::vector<std::string> &designNames() const
+    {
+        return design_names_;
+    }
+
+  private:
+    std::map<std::pair<std::string, std::string>, RunResult> cells_;
+    std::vector<std::string> app_names_;
+    std::vector<std::string> design_names_;
+};
+
+} // namespace caba
+
+#endif // CABA_HARNESS_SWEEP_H

@@ -1,0 +1,69 @@
+#include "mem/backing_store.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace caba {
+
+BackingStore::BackingStore(LineGenerator gen)
+    : gen_(std::move(gen))
+{
+    CABA_CHECK(static_cast<bool>(gen_), "backing store needs a generator");
+}
+
+void
+BackingStore::read(Addr line, std::uint8_t *out) const
+{
+    CABA_CHECK(line % kLineSize == 0, "unaligned line read");
+    auto it = overlay_.find(line);
+    if (it != overlay_.end()) {
+        std::memcpy(out, it->second.data.data(), kLineSize);
+        return;
+    }
+    gen_(line, out);
+}
+
+BackingStore::LineState &
+BackingStore::materialize(Addr line)
+{
+    auto [it, inserted] = overlay_.try_emplace(line);
+    if (inserted)
+        gen_(line, it->second.data.data());
+    return it->second;
+}
+
+void
+BackingStore::write(Addr line, const std::uint8_t *data)
+{
+    CABA_CHECK(line % kLineSize == 0, "unaligned line write");
+    LineState &st = materialize(line);
+    std::memcpy(st.data.data(), data, kLineSize);
+    ++st.version;
+}
+
+void
+BackingStore::writePartial(Addr line, int offset, int size)
+{
+    CABA_CHECK(line % kLineSize == 0, "unaligned line write");
+    CABA_CHECK(offset >= 0 && size > 0 && offset + size <= kLineSize,
+               "partial write out of range");
+    LineState &st = materialize(line);
+    // Deterministic mutation: mix the line address and version so repeated
+    // stores produce new-but-reproducible values with similar magnitude to
+    // the surrounding data (keeps compressibility realistic).
+    const std::uint64_t h = mixHash(line ^ (st.version + 1) * 0x9E37u);
+    for (int i = 0; i < size; ++i)
+        st.data[offset + i] ^= static_cast<std::uint8_t>(h >> ((i % 8) * 8));
+    ++st.version;
+}
+
+std::uint64_t
+BackingStore::version(Addr line) const
+{
+    auto it = overlay_.find(line);
+    return it == overlay_.end() ? 0 : it->second.version;
+}
+
+} // namespace caba

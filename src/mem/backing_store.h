@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Functional image of simulated global memory. Lines are synthesized on
+ * first touch by the workload's data generator (so a multi-GB footprint
+ * costs nothing), and an overlay map holds lines mutated by stores. Each
+ * line carries a version so compressed images can be memoized safely.
+ */
+#ifndef CABA_MEM_BACKING_STORE_H
+#define CABA_MEM_BACKING_STORE_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace caba {
+
+/** Fills @c out with the pristine 64 bytes at line-aligned address. */
+using LineGenerator = std::function<void(Addr, std::uint8_t *)>;
+
+/** Copy-on-write functional memory backed by a deterministic generator. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(LineGenerator gen);
+
+    /** Reads the current 64 bytes of @p line into @p out. */
+    void read(Addr line, std::uint8_t *out) const;
+
+    /** Overwrites the full line with @p data and bumps its version. */
+    void write(Addr line, const std::uint8_t *data);
+
+    /**
+     * Mutates part of the line: the workload model for partial stores.
+     * @p offset/@p size select the bytes; data is a deterministic
+     * function of (line, version) so runs stay repeatable.
+     */
+    void writePartial(Addr line, int offset, int size);
+
+    /** Version counter of @p line (0 = pristine). */
+    std::uint64_t version(Addr line) const;
+
+    /** Number of lines touched by stores. */
+    std::size_t dirtyLines() const { return overlay_.size(); }
+
+  private:
+    struct LineState
+    {
+        std::array<std::uint8_t, kLineSize> data;
+        std::uint64_t version = 0;
+    };
+
+    LineState &materialize(Addr line);
+
+    LineGenerator gen_;
+    std::unordered_map<Addr, LineState> overlay_;
+};
+
+} // namespace caba
+
+#endif // CABA_MEM_BACKING_STORE_H

@@ -1,0 +1,181 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+Cache::Cache(const CacheConfig &cfg)
+    : num_sets_(cfg.size_bytes / (kLineSize * cfg.assoc)),
+      tags_per_set_(cfg.assoc * cfg.tag_factor),
+      set_budget_(cfg.assoc * kLineSize)
+{
+    CABA_CHECK(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0,
+               "cache sets must be a nonzero power of two");
+    CABA_CHECK(cfg.tag_factor >= 1, "tag_factor must be >= 1");
+    entries_.resize(static_cast<std::size_t>(num_sets_) * tags_per_set_);
+}
+
+int
+Cache::setIndex(Addr line) const
+{
+    return static_cast<int>((line / kLineSize) & (num_sets_ - 1));
+}
+
+bool
+Cache::access(Addr line)
+{
+    const int s = setIndex(line);
+    for (int w = 0; w < tags_per_set_; ++w) {
+        Entry &e = entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+        if (e.valid && e.line == line) {
+            e.lru = ++lru_clock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    const int s = setIndex(line);
+    for (int w = 0; w < tags_per_set_; ++w) {
+        const Entry &e =
+            entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+        if (e.valid && e.line == line)
+            return true;
+    }
+    return false;
+}
+
+int
+Cache::usedBytes(int set) const
+{
+    int used = 0;
+    for (int w = 0; w < tags_per_set_; ++w) {
+        const Entry &e =
+            entries_[static_cast<std::size_t>(set) * tags_per_set_ + w];
+        if (e.valid)
+            used += e.bytes;
+    }
+    return used;
+}
+
+void
+Cache::insert(Addr line, int bytes, bool dirty, std::vector<Eviction> *out)
+{
+    CABA_CHECK(bytes > 0 && bytes <= kLineSize, "bad line size");
+    // A conventional cache (tag_factor == 1) spends a full slot per line;
+    // the compressed variant charges the compressed size (Section 6.5).
+    const bool conventional = tags_per_set_ * kLineSize == set_budget_;
+    const int occ = conventional ? kLineSize : bytes;
+
+    const int s = setIndex(line);
+    Entry *slot = nullptr;
+
+    // Already resident: update in place (size may have changed).
+    for (int w = 0; w < tags_per_set_; ++w) {
+        Entry &e = entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+        if (e.valid && e.line == line) {
+            e.bytes = occ;
+            e.dirty = e.dirty || dirty;
+            e.lru = ++lru_clock_;
+            return;
+        }
+    }
+
+    // Evict until both a tag and enough bytes are free.
+    auto evict_lru = [&]() {
+        Entry *victim = nullptr;
+        for (int w = 0; w < tags_per_set_; ++w) {
+            Entry &e =
+                entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+            if (e.valid && (!victim || e.lru < victim->lru))
+                victim = &e;
+        }
+        CABA_CHECK(victim, "no victim in a full set");
+        ++evictions_;
+        if (victim->dirty)
+            ++dirty_evictions_;
+        if (out)
+            out->push_back({victim->line, victim->dirty, victim->bytes});
+        victim->valid = false;
+    };
+
+    for (;;) {
+        slot = nullptr;
+        for (int w = 0; w < tags_per_set_; ++w) {
+            Entry &e =
+                entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+            if (!e.valid) {
+                slot = &e;
+                break;
+            }
+        }
+        if (slot && usedBytes(s) + occ <= set_budget_)
+            break;
+        evict_lru();
+    }
+
+    slot->line = line;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->bytes = occ;
+    slot->lru = ++lru_clock_;
+}
+
+bool
+Cache::setDirty(Addr line)
+{
+    const int s = setIndex(line);
+    for (int w = 0; w < tags_per_set_; ++w) {
+        Entry &e = entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+        if (e.valid && e.line == line) {
+            e.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr line, Eviction *out)
+{
+    const int s = setIndex(line);
+    for (int w = 0; w < tags_per_set_; ++w) {
+        Entry &e = entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];
+        if (e.valid && e.line == line) {
+            if (out)
+                *out = {e.line, e.dirty, e.bytes};
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+Cache::occupiedBytes() const
+{
+    int total = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            total += e.bytes;
+    return total;
+}
+
+int
+Cache::residentLines() const
+{
+    int total = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++total;
+    return total;
+}
+
+} // namespace caba

@@ -1,0 +1,57 @@
+#include "mem/compression_model.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace caba {
+
+CompressionModel::CompressionModel(const BackingStore &store, Algorithm algo,
+                                   bool verify)
+    : store_(store), algo_(algo), verify_(verify)
+{
+    if (algo_ != Algorithm::None)
+        codec_ = &getCodec(algo_);
+}
+
+const CompressedLine &
+CompressionModel::lookup(Addr line)
+{
+    CABA_CHECK(enabled(), "lookup on disabled compression model");
+    Entry &e = memo_[line];
+    const std::uint64_t v = store_.version(line);
+    if (e.version != v) {
+        std::uint8_t buf[kLineSize];
+        store_.read(line, buf);
+        e.cl = codec_->compress(buf);
+        e.version = v;
+        stats_.add("lines_compressed");
+        stats_.add("uncompressed_bytes", kLineSize);
+        stats_.add("compressed_bytes",
+                   static_cast<std::uint64_t>(e.cl.size()));
+        stats_.add("uncompressed_bursts", kBurstsPerLine);
+        stats_.add("compressed_bursts",
+                   static_cast<std::uint64_t>(e.cl.bursts()));
+        if (verify_) {
+            std::uint8_t out[kLineSize];
+            codec_->decompress(e.cl, out);
+            CABA_CHECK(std::memcmp(buf, out, kLineSize) == 0,
+                       "codec round-trip mismatch in memory image");
+        }
+    }
+    return e.cl;
+}
+
+int
+CompressionModel::compressedSize(Addr line)
+{
+    return enabled() ? lookup(line).size() : kLineSize;
+}
+
+int
+CompressionModel::bursts(Addr line)
+{
+    return enabled() ? lookup(line).bursts() : kBurstsPerLine;
+}
+
+} // namespace caba

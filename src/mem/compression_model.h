@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared functional view of compressed main memory: for any line it
+ * yields the compressed image of the line's *current* contents, memoized
+ * by (line, version). This models the paper's setup where data lives in
+ * DRAM in compressed form (initially prepared on the host, Section 4.3.1,
+ * and kept compressed by store-side assist warps thereafter).
+ */
+#ifndef CABA_MEM_COMPRESSION_MODEL_H
+#define CABA_MEM_COMPRESSION_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "compress/codec.h"
+#include "compress/registry.h"
+#include "mem/backing_store.h"
+
+namespace caba {
+
+/** Compressed-size/encoding oracle with round-trip verification. */
+class CompressionModel
+{
+  public:
+    /**
+     * @param store  functional memory the compressed images mirror
+     * @param algo   algorithm used for lines in memory (None = disabled)
+     * @param verify when true, every lookup round-trips the codec and
+     *               panics on mismatch (on by default; cheap)
+     */
+    CompressionModel(const BackingStore &store, Algorithm algo,
+                     bool verify = true);
+
+    /** Compressed image of @p line's current contents. */
+    const CompressedLine &lookup(Addr line);
+
+    /** Compressed size in bytes of the line's current contents. */
+    int compressedSize(Addr line);
+
+    /** DRAM bursts for the line's current contents. */
+    int bursts(Addr line);
+
+    Algorithm algorithm() const { return algo_; }
+    bool enabled() const { return algo_ != Algorithm::None; }
+
+    /** Aggregate compressibility counters (lines, bytes, bursts). */
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t version = ~std::uint64_t{0};
+        CompressedLine cl;
+    };
+
+    const BackingStore &store_;
+    Algorithm algo_;
+    const Codec *codec_ = nullptr;
+    bool verify_;
+    std::unordered_map<Addr, Entry> memo_;
+    StatSet stats_;
+};
+
+} // namespace caba
+
+#endif // CABA_MEM_COMPRESSION_MODEL_H

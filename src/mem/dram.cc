@@ -1,0 +1,306 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+namespace {
+
+/** 256B chunks striped across channels; this is the chunk's index in
+ *  the channel's local address space. */
+constexpr Addr kChunkBytes = 256;
+
+} // namespace
+
+DramChannel::DramChannel(const DramConfig &cfg)
+    : cfg_(cfg), banks_(cfg.banks)
+{
+    CABA_CHECK(cfg_.banks > 0, "channel needs banks");
+    CABA_CHECK(cfg_.burst_quarters > 0, "bad burst time");
+    CABA_CHECK(cfg_.write_drain_low < cfg_.write_drain_high &&
+               cfg_.write_drain_high <= cfg_.write_queue_capacity,
+               "bad write-drain marks");
+    CABA_CHECK(cfg_.sched_window >= cfg_.queue_capacity &&
+               cfg_.sched_window >= cfg_.write_queue_capacity,
+               "scheduler window must cover the whole queue");
+}
+
+int
+DramChannel::bankOf(Addr line) const
+{
+    // Channel-local layout [row | bank | column]: each bank owns
+    // row_bytes of contiguous channel addresses per row, so a sweeping
+    // stream keeps one open row per bank while striping across banks.
+    const Addr chunk = line / kChunkBytes /
+                       static_cast<Addr>(cfg_.channels);
+    const Addr chunks_per_col =
+        static_cast<Addr>(cfg_.row_bytes) / kChunkBytes;
+    return static_cast<int>((chunk / chunks_per_col) % cfg_.banks);
+}
+
+std::int64_t
+DramChannel::rowOf(Addr line) const
+{
+    const Addr chunk = line / kChunkBytes /
+                       static_cast<Addr>(cfg_.channels);
+    const Addr chunks_per_col =
+        static_cast<Addr>(cfg_.row_bytes) / kChunkBytes;
+    return static_cast<std::int64_t>(chunk / chunks_per_col / cfg_.banks);
+}
+
+bool
+DramChannel::canAccept(bool is_write) const
+{
+    if (is_write)
+        return static_cast<int>(write_q_.size()) <
+               cfg_.write_queue_capacity;
+    return static_cast<int>(read_q_.size()) < cfg_.queue_capacity;
+}
+
+void
+DramChannel::enqueue(DramCmd cmd)
+{
+    CABA_CHECK(canAccept(cmd.is_write), "DRAM queue overflow");
+    Bank &b = banks_[static_cast<std::size_t>(bankOf(cmd.line))];
+    if (b.open_row == rowOf(cmd.line))
+        ++b.open_matches;
+    if (cmd.is_write) {
+        write_q_.push_back(cmd);
+        ++writes_enqueued_;
+    } else {
+        read_q_.push_back(cmd);
+        ++reads_enqueued_;
+    }
+}
+
+void
+DramChannel::recountOpenMatches(int bank)
+{
+    Bank &b = banks_[static_cast<std::size_t>(bank)];
+    b.open_matches = 0;
+    for (const DramCmd &c : read_q_) {
+        if (bankOf(c.line) == bank && b.open_row == rowOf(c.line))
+            ++b.open_matches;
+    }
+    for (const DramCmd &c : write_q_) {
+        if (bankOf(c.line) == bank && b.open_row == rowOf(c.line))
+            ++b.open_matches;
+    }
+}
+
+int
+DramChannel::pickCas(const std::deque<DramCmd> &q, Cycle now) const
+{
+    const int limit =
+        std::min<int>(static_cast<int>(q.size()), cfg_.sched_window);
+    for (int i = 0; i < limit; ++i) {
+        const Bank &b = banks_[static_cast<std::size_t>(bankOf(q[i].line))];
+        const Cycle turnaround = q[i].is_write ? 0 : b.wtr_ready;
+        if (b.open_row == rowOf(q[i].line) && b.col_ready <= now &&
+            b.act_done <= now && turnaround <= now) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+int
+DramChannel::pickAct(const std::deque<DramCmd> &q) const
+{
+    // Never close a row that still has queued hits: eager re-activation
+    // would turn those hits into misses and thrash the row buffer.
+    const int limit =
+        std::min<int>(static_cast<int>(q.size()), cfg_.sched_window);
+    for (int i = 0; i < limit; ++i) {
+        const Bank &b = banks_[static_cast<std::size_t>(bankOf(q[i].line))];
+        if (b.open_row != rowOf(q[i].line) && b.pending_row < 0 &&
+            b.open_matches == 0) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+std::deque<DramCmd> &
+DramChannel::activeQueue()
+{
+    // Write-drain hysteresis (row-thrash control): writes batch in the
+    // write buffer and drain together, instead of closing the rows the
+    // read stream is hitting.
+    if (draining_writes_) {
+        if (static_cast<int>(write_q_.size()) <= cfg_.write_drain_low ||
+            write_q_.empty()) {
+            draining_writes_ = false;
+        }
+    } else {
+        if (static_cast<int>(write_q_.size()) >= cfg_.write_drain_high ||
+            read_q_.empty()) {
+            draining_writes_ = true;
+        }
+    }
+    if (draining_writes_ && !write_q_.empty())
+        return write_q_;
+    draining_writes_ = false;
+    return read_q_;
+}
+
+void
+DramChannel::issue(std::deque<DramCmd> &q, int idx, Cycle now)
+{
+    const int bank_idx = bankOf(q[idx].line);
+    Bank &bank = banks_[static_cast<std::size_t>(bank_idx)];
+    const std::int64_t row = rowOf(q[idx].line);
+
+    if (bank.open_row != row) {
+        // Activation phase: precharge + activate bookkeeping only. The
+        // command stays queued; its CAS issues once the row is open, so
+        // the data bus is never reserved across the activation latency.
+        const Cycle pre =
+            std::max({now, bank.data_end, bank.write_recover});
+        const Cycle act = std::max({pre + cfg_.tRP,
+                                    bank.last_activate + cfg_.tRC,
+                                    last_activate_any_ + cfg_.tRRD});
+        bank.last_activate = act;
+        last_activate_any_ = act;
+        bank.open_row = row;
+        bank.act_done = act + cfg_.tRCD;
+        bank.col_ready = bank.act_done;
+        bank.pending_row = row;
+        q[idx].activated = true;
+        ++row_misses_;
+        recountOpenMatches(bank_idx);
+        // Keep the claiming command inside the scheduler's search
+        // window so its CAS always issues and releases the claim.
+        if (idx > 0) {
+            DramCmd moved = q[idx];
+            q.erase(q.begin() + idx);
+            q.push_front(moved);
+        }
+        return;
+    }
+
+    DramCmd cmd = q[idx];
+    q.erase(q.begin() + idx);
+    if (bank.open_matches > 0)
+        --bank.open_matches;
+    if (bank.pending_row == row)
+        bank.pending_row = -1;
+    if (!cmd.activated)
+        ++row_hits_;
+
+    // Column command: pipelines at tCCDL spacing; the CAS latency
+    // overlaps with earlier transfers. tWTR gates only read-after-write.
+    Cycle col = std::max({now, bank.col_ready, bank.act_done});
+    if (!cmd.is_write)
+        col = std::max(col, bank.wtr_ready);
+    bank.col_ready = col + cfg_.tCCDL;
+    Cycle data_ready = col + cfg_.tCL;
+
+    data_ready += cmd.extra_latency;
+
+    const int bursts = cmd.bursts + cmd.extra_bursts;
+    const std::uint64_t start_q =
+        std::max(bus_free_q_, static_cast<std::uint64_t>(data_ready) * 4);
+    const std::uint64_t busy_q =
+        static_cast<std::uint64_t>(bursts) * cfg_.burst_quarters;
+    bus_free_q_ = start_q + busy_q;
+    bus_busy_q_ += busy_q;
+
+    const Cycle finish = (bus_free_q_ + 3) / 4;
+    bank.data_end = finish;
+    if (cmd.is_write) {
+        bank.write_recover = finish + cfg_.tWR;
+        bank.wtr_ready = finish + cfg_.tWTR;
+    }
+
+    (cmd.is_write ? writes_ : reads_) += 1;
+    bursts_ += static_cast<std::uint64_t>(bursts);
+    data_bursts_ += static_cast<std::uint64_t>(cmd.bursts);
+    overhead_bursts_ += static_cast<std::uint64_t>(cmd.extra_bursts);
+    queue_wait_cycles_ += now - cmd.enqueued;
+
+    completed_.push_back({cmd.id, cmd.is_write, finish});
+}
+
+void
+DramChannel::cycle(Cycle now)
+{
+    if (read_q_.empty() && write_q_.empty())
+        return;
+    if (static_cast<int>(completed_.size()) >= cfg_.banks + 8) {
+        ++sched_blocked_cap_;
+        return;
+    }
+    std::deque<DramCmd> &q = activeQueue();
+
+    // One activation and one CAS may issue per cycle (command/address
+    // bandwidth is not the bottleneck this model studies).
+    const int act_idx = pickAct(q);
+    if (act_idx >= 0)
+        issue(q, act_idx, now);
+
+    const int cas_idx = pickCas(q, now);
+    if (cas_idx >= 0) {
+        issue(q, cas_idx, now);
+        return;
+    }
+    // Opportunistic CAS from the inactive queue: open-row hits there
+    // cost almost nothing, and claims/hits left stranded across
+    // drain-mode switches would otherwise wedge their banks (row
+    // re-activation is blocked while same-row work is queued).
+    std::deque<DramCmd> &other = (&q == &read_q_) ? write_q_ : read_q_;
+    const int other_idx = pickCas(other, now);
+    if (other_idx >= 0) {
+        issue(other, other_idx, now);
+        return;
+    }
+    if (act_idx < 0)
+        ++sched_no_eligible_;
+}
+
+void
+DramChannel::drainCompleted(Cycle now, std::vector<DramCompletion> *out)
+{
+    for (std::size_t i = 0; i < completed_.size();) {
+        if (completed_[i].finish <= now) {
+            out->push_back(completed_[i]);
+            completed_[i] = completed_.back();
+            completed_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+double
+DramChannel::busUtilization(Cycle elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(bus_busy_q_) /
+           (static_cast<double>(elapsed) * 4.0);
+}
+
+StatSet
+DramChannel::stats() const
+{
+    StatSet s;
+    s.set("row_hits", row_hits_);
+    s.set("row_misses", row_misses_);
+    s.set("activates", row_misses_);
+    s.set("reads", reads_);
+    s.set("writes", writes_);
+    s.set("bursts", bursts_);
+    s.set("data_bursts", data_bursts_);
+    s.set("overhead_bursts", overhead_bursts_);
+    s.set("queue_wait_cycles", queue_wait_cycles_);
+    s.set("reads_enqueued", reads_enqueued_);
+    s.set("writes_enqueued", writes_enqueued_);
+    s.set("sched_no_eligible", sched_no_eligible_);
+    s.set("sched_blocked_inflight_cap", sched_blocked_cap_);
+    return s;
+}
+
+} // namespace caba

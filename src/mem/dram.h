@@ -1,0 +1,200 @@
+/**
+ * @file
+ * GDDR5 channel model: 16 banks with row-buffer state, FR-FCFS
+ * scheduling with read priority, and a data bus whose occupancy is
+ * counted in 32-byte bursts — the unit in which compression saves
+ * bandwidth (Table 1 and Section 4.3.2).
+ *
+ * Timing abstraction: tCL/tRP/tRCD/tRC/tRRD/tWR from Table 1 gate when a
+ * bank can deliver; the data bus is tracked in quarter-core-cycles so the
+ * 1x-bandwidth burst time of 1.5 core cycles (177.4 GB/s over 6 channels
+ * at a 1.4 GHz core) is exact. Refresh and bank-group tCCDL are folded
+ * into the burst gap.
+ */
+#ifndef CABA_MEM_DRAM_H
+#define CABA_MEM_DRAM_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace caba {
+
+/** Channel geometry and timing (core-clock cycles). */
+struct DramConfig
+{
+    int banks = 16;
+    int row_bytes = 2048;
+
+    /**
+     * Number of channels in the system, used only for address
+     * decomposition: channel bits sit at 256B granularity, bank bits
+     * directly above them, so consecutive chunks on one channel stripe
+     * across banks (avoiding bank camping by lock-step streams).
+     */
+    int channels = 6;
+    int tCL = 12;
+    int tRP = 12;
+    int tRCD = 12;
+    int tRC = 40;
+    int tRRD = 6;
+    int tWR = 12;
+    int tCCDL = 5;  ///< Column-to-column spacing (Table 1 "tCLDR").
+    int tWTR = 5;   ///< Write-to-read turnaround within a bank.
+
+    /**
+     * Quarter-core-cycles of data-bus time per 32B burst. 6 (=1.5
+     * cycles) reproduces the paper's 177.4 GB/s baseline; 12 and 3 give
+     * the 1/2x and 2x bandwidth points of Figures 1 and 12.
+     */
+    int burst_quarters = 6;
+
+    int queue_capacity = 64;        ///< Read queue entries.
+
+    /** FR-FCFS associative search window. Must cover the whole queue:
+     *  the row-preserving activation rule tracks open-row work across
+     *  the full queue, and work outside the window could never drain. */
+    int sched_window = 256;
+    int write_queue_capacity = 64;  ///< Write buffer entries.
+
+    /** Write-drain hysteresis: start draining when the write buffer
+     *  reaches the high mark, stop at the low mark (row-thrash control:
+     *  writes batch instead of interleaving with the read stream). */
+    int write_drain_high = 48;
+    int write_drain_low = 8;
+};
+
+/** One scheduled DRAM access. */
+struct DramCmd
+{
+    std::uint64_t id = 0;
+    Addr line = 0;
+    bool is_write = false;
+    int bursts = kBurstsPerLine;
+
+    /** Extra latency charged before data (MD-cache miss, Section 4.3.2). */
+    int extra_latency = 0;
+
+    /** Extra bus bursts charged (page walk and/or metadata fetch). */
+    int extra_bursts = 0;
+
+    Cycle enqueued = 0;
+
+    /** Set when this command triggered the bank's activation. */
+    bool activated = false;
+};
+
+/** A finished access, reported back to the memory partition. */
+struct DramCompletion
+{
+    std::uint64_t id = 0;
+    bool is_write = false;
+    Cycle finish = 0;
+};
+
+/** One GDDR5 channel. */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const DramConfig &cfg);
+
+    /** True when the relevant queue (read or write) has room. */
+    bool canAccept(bool is_write) const;
+
+    /** Queues a command; canAccept() must be true. */
+    void enqueue(DramCmd cmd);
+
+    /** Advances one core cycle; issues at most one command. */
+    void cycle(Cycle now);
+
+    /** Moves completions whose finish time has passed into @p out. */
+    void drainCompleted(Cycle now, std::vector<DramCompletion> *out);
+
+    bool
+    busy() const
+    {
+        return !read_q_.empty() || !write_q_.empty() || !completed_.empty();
+    }
+
+    /** Fraction of elapsed time the data bus moved data. */
+    double busUtilization(Cycle elapsed) const;
+
+    /** Assembles the counter snapshot (reads, writes, bursts, rows...). */
+    StatSet stats() const;
+
+    std::uint64_t totalBursts() const { return bursts_; }
+
+  private:
+    struct Bank
+    {
+        std::int64_t open_row = -1;
+        Cycle col_ready = 0;     ///< Earliest next column command (tCCDL).
+        Cycle act_done = 0;      ///< Activation complete (tRCD elapsed).
+        Cycle last_activate = 0; ///< For tRC spacing.
+        Cycle data_end = 0;      ///< Last data beat out of this bank.
+        Cycle write_recover = 0; ///< tWR: gates precharge after a write.
+        Cycle wtr_ready = 0;     ///< tWTR: gates reads after a write.
+
+        /** Row activated on behalf of a still-queued command; blocks
+         *  competing activations until that command's CAS issues. */
+        std::int64_t pending_row = -1;
+
+        /** Queued commands (either queue) matching the open row; a
+         *  bank with open-row work is never re-activated (row-thrash
+         *  control). Maintained incrementally. */
+        int open_matches = 0;
+    };
+
+    int bankOf(Addr line) const;
+    std::int64_t rowOf(Addr line) const;
+
+    /** FR-FCFS pick within @p q: delivery-ready CAS first, else -1. */
+    int pickCas(const std::deque<DramCmd> &q, Cycle now) const;
+
+    /** Oldest command in @p q needing an unclaimed activation, or -1. */
+    int pickAct(const std::deque<DramCmd> &q) const;
+
+    void issue(std::deque<DramCmd> &q, int idx, Cycle now);
+
+    /** The queue the scheduler serves this cycle (write drain mode). */
+    std::deque<DramCmd> &activeQueue();
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_;
+    std::deque<DramCmd> read_q_;
+    std::deque<DramCmd> write_q_;
+    bool draining_writes_ = false;
+    std::vector<DramCompletion> completed_;
+
+    /** Recounts @c open_matches for @p bank after its row changed. */
+    void recountOpenMatches(int bank);
+
+    /** Data-bus reservation head, in quarter-cycles. */
+    std::uint64_t bus_free_q_ = 0;
+
+    /** Total quarter-cycles of bus occupancy (utilization numerator). */
+    std::uint64_t bus_busy_q_ = 0;
+
+    Cycle last_activate_any_ = 0;   ///< For tRRD spacing.
+
+    // counters (hot path: plain members, assembled by stats())
+    std::uint64_t row_hits_ = 0;
+    std::uint64_t row_misses_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t bursts_ = 0;
+    std::uint64_t data_bursts_ = 0;
+    std::uint64_t overhead_bursts_ = 0;
+    std::uint64_t queue_wait_cycles_ = 0;
+    std::uint64_t reads_enqueued_ = 0;
+    std::uint64_t writes_enqueued_ = 0;
+    std::uint64_t sched_no_eligible_ = 0;
+    std::uint64_t sched_blocked_cap_ = 0;
+};
+
+} // namespace caba
+
+#endif // CABA_MEM_DRAM_H

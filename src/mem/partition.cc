@@ -1,0 +1,308 @@
+#include "mem/partition.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+MemoryPartition::MemoryPartition(int id, const PartitionConfig &cfg,
+                                 const DesignConfig &design,
+                                 CompressionModel *model)
+    : id_(id), cfg_(cfg), design_(design), model_(model),
+      l2_({cfg.l2.size_bytes, cfg.l2.assoc, design.l2_tag_factor}),
+      dram_(cfg.dram), md_(cfg.md_size_bytes, cfg.md_assoc),
+      tlb_(cfg.tlb_size_bytes, 4, cfg.tlb_page_lines)
+{
+    (void)id_;
+    if (design_.usesCompression())
+        CABA_CHECK(model_, "compressed design needs a compression model");
+}
+
+bool
+MemoryPartition::canAccept() const
+{
+    return static_cast<int>(l2_pipe_.size()) < 32;
+}
+
+void
+MemoryPartition::accept(const MemRequest &req, Cycle now)
+{
+    CABA_CHECK(canAccept(), "partition ingress overflow");
+    l2_pipe_.emplace_back(now + cfg_.l2_latency, req);
+    (req.is_write ? n_.stores_in : n_.loads_in) += 1;
+    if (!req.is_write)
+        n_.ingress_latency_total += now - req.created;
+}
+
+int
+MemoryPartition::payloadBytes(Addr line)
+{
+    if (design_.l2_tag_factor > 1)
+        return model_->compressedSize(line);
+    return kLineSize;
+}
+
+std::pair<int, int>
+MemoryPartition::metadataCost(Addr line)
+{
+    // Page walk: a TLB miss costs one page-table burst in EVERY design
+    // (paper footnote 4).
+    int bursts = 0;
+    bool tlb_missed = false;
+    if (cfg_.model_tlb && !tlb_.access(line)) {
+        tlb_missed = true;
+        ++n_.tlb_misses;
+        bursts += 1;
+    }
+    if (!design_.mem_compressed || !design_.md_overhead)
+        return {0, bursts};
+    ++n_.md_lookups;
+    if (!md_.access(line)) {
+        ++n_.md_misses;
+        if (tlb_missed) {
+            // The metadata fetch rides along with the page-table walk
+            // (both live in reserved DRAM near the page structures).
+            ++n_.md_piggybacked;
+        } else {
+            bursts += cfg_.md_miss_bursts;
+        }
+    }
+    return {cfg_.md_miss_latency, bursts};
+}
+
+void
+MemoryPartition::issueDramRead(const MemRequest &req, Cycle now)
+{
+    // Merge onto an outstanding read of the same line if one exists.
+    auto lit = line_read_.find(req.line);
+    if (lit != line_read_.end()) {
+        dram_reads_[lit->second].push_back(req);
+        ++n_.dram_read_merges;
+        return;
+    }
+    if (!dram_.canAccept(false)) {
+        dram_stalled_.push_back(req);
+        ++n_.dram_stall_events;
+        return;
+    }
+    const auto [extra_lat, extra_bursts] = metadataCost(req.line);
+    DramCmd cmd;
+    cmd.id = next_dram_id_++;
+    cmd.line = req.line;
+    cmd.is_write = false;
+    cmd.bursts = design_.mem_compressed ? model_->bursts(req.line)
+                                        : kBurstsPerLine;
+    cmd.extra_latency = extra_lat;
+    cmd.extra_bursts = extra_bursts;
+    cmd.enqueued = now;
+    dram_.enqueue(cmd);
+    n_.transfer_bursts += static_cast<std::uint64_t>(cmd.bursts);
+    n_.transfer_bursts_uncompressed += kBurstsPerLine;
+    line_read_[req.line] = cmd.id;
+    dram_reads_[cmd.id] = {req};
+}
+
+void
+MemoryPartition::issueDramWrite(Addr line, Cycle now, bool partial_uncached)
+{
+    if (!dram_.canAccept(true)) {
+        // Partial-ness is dropped for stalled writebacks; they are rare
+        // and the difference is one burst.
+        writeback_stalled_.push_back(line);
+        return;
+    }
+    const auto [extra_lat, extra_bursts] = metadataCost(line);
+    DramCmd cmd;
+    cmd.id = next_dram_id_++;
+    cmd.line = line;
+    cmd.is_write = true;
+    if (partial_uncached) {
+        cmd.bursts = 1;
+    } else {
+        cmd.bursts = design_.mem_compressed ? model_->bursts(line)
+                                            : kBurstsPerLine;
+    }
+    cmd.extra_latency = extra_lat;
+    cmd.extra_bursts = extra_bursts;
+    cmd.enqueued = now;
+    dram_.enqueue(cmd);
+    n_.transfer_bursts += static_cast<std::uint64_t>(cmd.bursts);
+    n_.transfer_bursts_uncompressed += partial_uncached ? 1 : kBurstsPerLine;
+    ++n_.dram_writes_issued;
+    if (design_.decompress == DecompressSite::MemCtrl && !partial_uncached)
+        ++n_.mc_compressions;
+}
+
+void
+MemoryPartition::makeReply(const MemRequest &req, Cycle now, bool from_dram)
+{
+    MemRequest reply = req;
+    reply.is_write = false;
+    if (design_.xbar_compressed && design_.usesCompression()) {
+        const CompressedLine &cl = model_->lookup(req.line);
+        reply.payload_bytes = cl.size();
+        reply.compressed = !cl.isUncompressed();
+        reply.encoding = cl.encoding;
+    } else {
+        reply.payload_bytes = kLineSize;
+        reply.compressed = false;
+        reply.encoding = 0;
+    }
+    Cycle ready = now;
+    if (design_.decompress == DecompressSite::MemCtrl && from_dram) {
+        // HW-<algo>-Mem: dedicated logic expands the line at the MC
+        // before it crosses the interconnect.
+        ready += getCodec(design_.algo).hwDecompressLatency();
+        ++n_.mc_decompressions;
+    }
+    reply_wait_.emplace_back(ready, reply);
+    ++n_.replies;
+    n_.service_latency_total += now - req.created;
+}
+
+void
+MemoryPartition::handleL2Ready(const MemRequest &req, Cycle now)
+{
+    if (!req.is_write) {
+        if (l2_.access(req.line)) {
+            makeReply(req, now, false);
+        } else {
+            issueDramRead(req, now);
+        }
+        return;
+    }
+
+    // Store path (write-back, write-allocate L2).
+    ++n_.l2_store_accesses;
+    if (req.full_line || l2_.contains(req.line)) {
+        std::vector<Eviction> evicted;
+        l2_.insert(req.line, payloadBytes(req.line), true, &evicted);
+        for (const Eviction &ev : evicted) {
+            if (ev.dirty)
+                issueDramWrite(ev.line, now, false);
+        }
+        return;
+    }
+
+    // Partial store to a line absent from L2 (paper Section 4.2.2).
+    if (design_.mem_compressed) {
+        // Worst case: the destination is compressed in memory, so the
+        // line must be fetched (and decompressed) before merging.
+        ++n_.partial_store_fills;
+        issueDramRead(req, now);
+    } else {
+        // Uncompressed memory: write through the dirty bytes directly.
+        ++n_.partial_store_writethrough;
+        issueDramWrite(req.line, now, true);
+    }
+}
+
+void
+MemoryPartition::handleDramCompletion(const DramCompletion &done, Cycle now)
+{
+    if (done.is_write) {
+        ++n_.dram_writes_done;
+        return;
+    }
+    auto it = dram_reads_.find(done.id);
+    CABA_CHECK(it != dram_reads_.end(), "unknown DRAM read completion");
+    std::vector<MemRequest> waiters = std::move(it->second);
+    dram_reads_.erase(it);
+    CABA_CHECK(!waiters.empty(), "DRAM read with no waiters");
+    const Addr line = waiters.front().line;
+    line_read_.erase(line);
+
+    std::vector<Eviction> evicted;
+    bool dirty = false;
+    for (const MemRequest &w : waiters)
+        dirty = dirty || w.is_write;
+    l2_.insert(line, payloadBytes(line), dirty, &evicted);
+    for (const Eviction &ev : evicted) {
+        if (ev.dirty)
+            issueDramWrite(ev.line, now, false);
+    }
+    for (const MemRequest &w : waiters) {
+        if (!w.is_write)
+            makeReply(w, now, true);
+    }
+}
+
+void
+MemoryPartition::cycle(Cycle now)
+{
+    dram_.cycle(now);
+
+    std::vector<DramCompletion> done;
+    dram_.drainCompleted(now, &done);
+    for (const DramCompletion &d : done)
+        handleDramCompletion(d, now);
+
+    // Retry stalled writebacks and misses now that DRAM may have room.
+    while (!writeback_stalled_.empty() && dram_.canAccept(true)) {
+        const Addr line = writeback_stalled_.front();
+        writeback_stalled_.pop_front();
+        issueDramWrite(line, now, false);
+    }
+    while (!dram_stalled_.empty() && dram_.canAccept(false)) {
+        const MemRequest req = dram_stalled_.front();
+        dram_stalled_.pop_front();
+        issueDramRead(req, now);
+    }
+
+    // One L2 port: a single request leaves the lookup pipe per cycle.
+    if (!l2_pipe_.empty() && l2_pipe_.front().first <= now) {
+        const MemRequest req = l2_pipe_.front().second;
+        l2_pipe_.pop_front();
+        handleL2Ready(req, now);
+    }
+
+    // Release replies whose MC-side latency elapsed.
+    while (!reply_wait_.empty() && reply_wait_.front().first <= now) {
+        replies_.push_back(reply_wait_.front().second);
+        reply_wait_.pop_front();
+    }
+}
+
+StatSet
+MemoryPartition::stats() const
+{
+    StatSet s;
+    s.set("loads_in", n_.loads_in);
+    s.set("stores_in", n_.stores_in);
+    s.set("ingress_latency_total", n_.ingress_latency_total);
+    s.set("service_latency_total", n_.service_latency_total);
+    s.set("replies", n_.replies);
+    s.set("transfer_bursts", n_.transfer_bursts);
+    s.set("transfer_bursts_uncompressed", n_.transfer_bursts_uncompressed);
+    s.set("md_lookups", n_.md_lookups);
+    s.set("md_misses", n_.md_misses);
+    s.set("md_piggybacked", n_.md_piggybacked);
+    s.set("tlb_misses", n_.tlb_misses);
+    s.set("dram_read_merges", n_.dram_read_merges);
+    s.set("dram_stall_events", n_.dram_stall_events);
+    s.set("dram_writes_issued", n_.dram_writes_issued);
+    s.set("dram_writes_done", n_.dram_writes_done);
+    s.set("mc_compressions", n_.mc_compressions);
+    s.set("mc_decompressions", n_.mc_decompressions);
+    s.set("l2_store_accesses", n_.l2_store_accesses);
+    s.set("partial_store_fills", n_.partial_store_fills);
+    s.set("partial_store_writethrough", n_.partial_store_writethrough);
+    return s;
+}
+
+bool
+MemoryPartition::busy() const
+{
+    return !l2_pipe_.empty() || !dram_stalled_.empty() ||
+           !writeback_stalled_.empty() || !dram_reads_.empty() ||
+           !replies_.empty() || !reply_wait_.empty() || dram_.busy();
+}
+
+double
+MemoryPartition::dramBusUtilization(Cycle elapsed) const
+{
+    return dram_.busUtilization(elapsed);
+}
+
+} // namespace caba

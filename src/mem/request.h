@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The unit of traffic between SMs, the interconnect, L2 slices and the
+ * DRAM channels. Payload bytes determine flit/burst counts, which is how
+ * compression turns into bandwidth savings in every design.
+ */
+#ifndef CABA_MEM_REQUEST_H
+#define CABA_MEM_REQUEST_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace caba {
+
+/** Request/reply packet. */
+struct MemRequest
+{
+    std::uint64_t id = 0;       ///< Unique id (assigned by the SM).
+    Addr line = 0;              ///< Line-aligned address.
+    bool is_write = false;
+    bool full_line = true;      ///< Stores: does the write cover 64 bytes?
+    int src_sm = 0;             ///< Requesting SM (for reply routing).
+    int warp = kInvalidWarp;    ///< Parent warp (for fill completion).
+    Cycle created = 0;
+
+    /**
+     * Payload size on the wire in bytes. Read requests carry a header
+     * only; write requests and read replies carry (possibly compressed)
+     * line data.
+     */
+    int payload_bytes = 0;
+
+    /** True when payload_bytes is a compressed image of the line. */
+    bool compressed = false;
+
+    /** Codec-specific encoding id of the payload (AWS index source). */
+    int encoding = 0;
+
+    /** Interconnect flits needed for this packet (32B flits, min 1). */
+    int
+    flits() const
+    {
+        const int b = payload_bytes > 0 ? payload_bytes : 1;
+        return static_cast<int>(divCeil(static_cast<std::uint64_t>(b),
+                                        kBurstSize));
+    }
+};
+
+} // namespace caba
+
+#endif // CABA_MEM_REQUEST_H

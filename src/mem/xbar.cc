@@ -1,0 +1,115 @@
+#include "mem/xbar.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+XbarDirection::XbarDirection(int inputs, int outputs, const XbarConfig &cfg)
+    : cfg_(cfg), inputs_(inputs), outputs_(outputs),
+      in_q_(inputs), port_busy_until_(outputs, 0), rr_(outputs, 0),
+      out_q_(outputs), flying_per_out_(outputs, 0)
+{
+    CABA_CHECK(inputs > 0 && outputs > 0, "bad crossbar geometry");
+}
+
+bool
+XbarDirection::canPush(int in) const
+{
+    return static_cast<int>(in_q_[in].size()) < cfg_.input_queue;
+}
+
+void
+XbarDirection::push(int in, int out, const MemRequest &req)
+{
+    CABA_CHECK(canPush(in), "crossbar input overflow");
+    CABA_CHECK(out >= 0 && out < outputs_, "bad crossbar output");
+    in_q_[in].emplace_back(out, req);
+    ++queued_packets_;
+}
+
+void
+XbarDirection::cycle(Cycle now)
+{
+    if (flying_.empty() && queued_packets_ == 0)
+        return;
+    // Deliver in-flight packets whose latency elapsed.
+    for (std::size_t i = 0; i < flying_.size();) {
+        if (flying_[i].deliver_at <= now) {
+            const int out = flying_[i].out;
+            out_q_[out].push_back({flying_[i].req, flying_[i].deliver_at});
+            --flying_per_out_[out];
+            flying_[i] = flying_.back();
+            flying_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Per-output round-robin packet arbitration. The output port is
+    // reserved for the packet's flit count; a fresh packet starts only
+    // when the port is free and the destination queue has room.
+    for (int out = 0; out < outputs_; ++out) {
+        if (port_busy_until_[out] > now)
+            continue;
+        if (static_cast<int>(out_q_[out].size()) + flying_per_out_[out] >=
+                cfg_.output_queue) {
+            continue;
+        }
+        for (int k = 0; k < inputs_; ++k) {
+            const int in = (rr_[out] + k) % inputs_;
+            auto &q = in_q_[in];
+            if (q.empty() || q.front().first != out)
+                continue;
+            const MemRequest req = q.front().second;
+            q.pop_front();
+            --queued_packets_;
+            const int flits = req.flits();
+            port_busy_until_[out] = now + flits;
+            flying_.push_back({req, out, now + flits + cfg_.latency});
+            ++flying_per_out_[out];
+            stats_.add("packets");
+            stats_.add("flits", static_cast<std::uint64_t>(flits));
+            rr_[out] = (in + 1) % inputs_;
+            break;
+        }
+    }
+}
+
+bool
+XbarDirection::hasDelivery(int out, Cycle now) const
+{
+    return !out_q_[out].empty() && out_q_[out].front().at <= now;
+}
+
+MemRequest
+XbarDirection::popDelivery(int out)
+{
+    CABA_CHECK(!out_q_[out].empty(), "no delivery to pop");
+    MemRequest req = out_q_[out].front().req;
+    out_q_[out].pop_front();
+    return req;
+}
+
+int
+XbarDirection::outputDepth(int out) const
+{
+    return static_cast<int>(out_q_[out].size());
+}
+
+bool
+XbarDirection::busy() const
+{
+    if (!flying_.empty())
+        return true;
+    for (const auto &q : in_q_)
+        if (!q.empty())
+            return true;
+    for (const auto &q : out_q_)
+        if (!q.empty())
+            return true;
+    return false;
+}
+
+} // namespace caba

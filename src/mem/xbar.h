@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Crossbar interconnect between SMs and memory partitions (Table 1: one
+ * crossbar per direction, 15x6, core clock). Each output port moves one
+ * 32-byte flit per cycle, so compressed packets (fewer flits) free port
+ * time — the effect that separates HW-BDI from HW-BDI-Mem in Figure 7.
+ */
+#ifndef CABA_MEM_XBAR_H
+#define CABA_MEM_XBAR_H
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/request.h"
+
+namespace caba {
+
+/** Crossbar geometry. */
+struct XbarConfig
+{
+    int latency = 8;            ///< Port-to-port latency in cycles.
+    int input_queue = 16;       ///< Packets buffered per input port.
+    int output_queue = 16;      ///< Packets buffered at each destination.
+};
+
+/**
+ * One direction of the crossbar: @p inputs input ports, @p outputs
+ * output ports, per-output round-robin arbitration at packet
+ * granularity, output-port occupancy proportional to flit count.
+ */
+class XbarDirection
+{
+  public:
+    XbarDirection(int inputs, int outputs, const XbarConfig &cfg);
+
+    /** True when input port @p in can take another packet. */
+    bool canPush(int in) const;
+
+    /** Enqueues @p req at input @p in, destined to output @p out. */
+    void push(int in, int out, const MemRequest &req);
+
+    /** Advances one cycle: arbitration + transfers. */
+    void cycle(Cycle now);
+
+    /** True when output @p out has a delivered packet ready. */
+    bool hasDelivery(int out, Cycle now) const;
+
+    /** Pops the next delivered packet at output @p out. */
+    MemRequest popDelivery(int out);
+
+    /** Number of packets queued at output @p out (for backpressure). */
+    int outputDepth(int out) const;
+
+    bool busy() const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct InFlight
+    {
+        MemRequest req;
+        int out = 0;
+        Cycle deliver_at = 0;
+    };
+
+    struct Delivered
+    {
+        MemRequest req;
+        Cycle at = 0;
+    };
+
+    XbarConfig cfg_;
+    int inputs_;
+    int outputs_;
+    std::vector<std::deque<std::pair<int, MemRequest>>> in_q_;
+    std::vector<Cycle> port_busy_until_;
+    std::vector<int> rr_;
+    std::vector<std::deque<Delivered>> out_q_;
+    std::vector<InFlight> flying_;
+    std::vector<int> flying_per_out_;
+    int queued_packets_ = 0;
+    StatSet stats_;
+};
+
+} // namespace caba
+
+#endif // CABA_MEM_XBAR_H

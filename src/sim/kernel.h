@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The contract between a workload and the SIMT core: the static program,
+ * per-warp trip counts, and the coalesced line addresses of each dynamic
+ * global-memory access. Workloads implement this; the core stays
+ * agnostic of how benchmarks are synthesized.
+ */
+#ifndef CABA_SIM_KERNEL_H
+#define CABA_SIM_KERNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace caba {
+
+/** Result of coalescing one warp-wide global access (Section 4.2). */
+struct MemAccess
+{
+    /** Deduplicated line addresses touched by the 32 lanes. */
+    std::vector<Addr> lines;
+
+    /** Stores: true when every touched line is fully overwritten. */
+    bool full_line = true;
+};
+
+/** Workload-facing interface consumed by SmCore. */
+class KernelInfo
+{
+  public:
+    virtual ~KernelInfo() = default;
+
+    /** The static instruction sequence every warp executes. */
+    virtual const Program &program() const = 0;
+
+    /** Loop trip count for global warp @p warp_global. */
+    virtual int iterations(int warp_global) const = 0;
+
+    /**
+     * Coalesces the access of @p stream by @p warp_global at iteration
+     * @p iter into distinct lines.
+     */
+    virtual void genLines(int stream, int warp_global, int iter,
+                          MemAccess *out) const = 0;
+
+    /**
+     * Bytes a store writes to @p line (deterministic, so output data has
+     * a realistic compressibility profile rather than random noise).
+     */
+    virtual void outputLine(Addr line, std::uint8_t *out) const = 0;
+};
+
+} // namespace caba
+
+#endif // CABA_SIM_KERNEL_H

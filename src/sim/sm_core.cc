@@ -1,0 +1,845 @@
+#include "sim/sm_core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
+               const CabaConfig &caba_cfg, const ExtrasConfig &extras,
+               AssistWarpStore *aws, CompressionModel *model,
+               BackingStore *backing)
+    : id_(id), cfg_(cfg), design_(design), extras_(extras), aws_(aws),
+      model_(model), backing_(backing),
+      l1_({cfg.l1.size_bytes, cfg.l1.assoc, design.l1_tag_factor}),
+      awc_(caba_cfg),
+      rng_(0xC0FFEEull + static_cast<std::uint64_t>(id) * 7919),
+      ring_(kRingSize),
+      greedy_warp_(static_cast<std::size_t>(cfg.schedulers), kInvalidWarp),
+      decode_rr_(static_cast<std::size_t>(cfg.schedulers), 0),
+      lrr_next_(static_cast<std::size_t>(cfg.schedulers), 0)
+{
+    CABA_CHECK(cfg_.schedulers >= 1, "need at least one scheduler");
+    CABA_CHECK(cfg_.alu_latency < kRingSize &&
+               cfg_.sfu_latency < kRingSize &&
+               cfg_.shmem_latency < kRingSize &&
+               cfg_.l1_latency < kRingSize,
+               "pipeline latency exceeds event ring");
+    if (design_.usesCompression()) {
+        CABA_CHECK(model_, "compressed design needs a compression model");
+        CABA_CHECK(aws_, "CABA design needs an assist warp store");
+    }
+    warps_.resize(static_cast<std::size_t>(cfg_.max_warps));
+    loads_.resize(static_cast<std::size_t>(cfg_.max_warps) * 8);
+    for (int i = static_cast<int>(loads_.size()) - 1; i >= 0; --i)
+        free_load_slots_.push_back(i);
+}
+
+void
+SmCore::launch(const KernelInfo *kernel, int num_warps, int warp_global_base,
+               int warp_global_stride)
+{
+    CABA_CHECK(kernel, "null kernel");
+    CABA_CHECK(num_warps > 0 && num_warps <= cfg_.max_warps,
+               "bad warp count for launch");
+    CABA_CHECK(kernel->program().numRegs() <= 64,
+               "scoreboard supports at most 64 registers per thread");
+    kernel_ = kernel;
+    live_warps_ = num_warps;
+    for (int w = 0; w < num_warps; ++w) {
+        WarpState &ws = warps_[static_cast<std::size_t>(w)];
+        ws = WarpState{};
+        ws.exists = true;
+        ws.global_id = warp_global_base + w * warp_global_stride;
+        ws.trips_left = std::max(1, kernel->iterations(ws.global_id));
+    }
+}
+
+// ---------------------------------------------------------------- events
+
+void
+SmCore::scheduleEvent(Cycle at, Event ev, Cycle now)
+{
+    CABA_CHECK(at > now && at - now < kRingSize, "event beyond ring reach");
+    ring_[at % kRingSize].push_back(ev);
+    ++outstanding_events_;
+}
+
+void
+SmCore::processEvents(Cycle now)
+{
+    auto &bucket = ring_[now % kRingSize];
+    if (bucket.empty())
+        return;
+    // Handlers never schedule same-cycle events, so the bucket can be
+    // iterated in place and cleared (keeping its capacity).
+    outstanding_events_ -= static_cast<int>(bucket.size());
+    for (const Event &ev : bucket) {
+        switch (ev.kind) {
+          case Event::Kind::RegWriteback:
+            if (ev.warp != kInvalidWarp)
+                warps_[static_cast<std::size_t>(ev.warp)].pending_regs &=
+                    ~ev.regmask;
+            if (ev.pipe == 1)
+                --alu_inflight_;
+            else if (ev.pipe == 2)
+                --sfu_inflight_;
+            break;
+          case Event::Kind::LoadLineDone:
+            loadLineDone(ev.load_slot);
+            break;
+          case Event::Kind::FillDone:
+            completeFill(ev.line, now);
+            break;
+        }
+    }
+    bucket.clear();
+}
+
+// ------------------------------------------------------------- the cycle
+
+void
+SmCore::cycle(Cycle now)
+{
+    mem_port_used_ = false;
+    sfu_port_used_ = false;
+    ldst_stalled_this_cycle_ = false;
+    saw_mem_block_ = false;
+    saw_compute_block_ = false;
+    saw_data_block_ = false;
+    issued_any_ = false;
+
+    processEvents(now);
+    reapAssistWarps(now);
+    retryPendingFills(now);
+    drainLdst(now);
+    decodeStage();
+    issueStage(now);
+    classifyCycle();
+}
+
+// ------------------------------------------------------------ decode
+
+void
+SmCore::decodeOneWarp(WarpState &w)
+{
+    const Program &prog = kernel_->program();
+    for (int n = 0; n < cfg_.decode_width; ++n) {
+        if (w.decode_done ||
+            static_cast<int>(w.ibuf.size()) >= cfg_.ibuffer_entries) {
+            return;
+        }
+        const Instruction &inst = prog.at(w.pc);
+        w.ibuf.push({&inst, w.iter});
+        if (inst.op == Opcode::Branch) {
+            // Back-edge resolves at decode: trip counters are explicit.
+            --w.trips_left;
+            if (w.trips_left > 0) {
+                w.pc = inst.branch_target;
+                ++w.iter;
+            } else {
+                ++w.pc;
+            }
+        } else if (inst.op == Opcode::Exit) {
+            w.decode_done = true;
+        } else {
+            ++w.pc;
+        }
+    }
+}
+
+void
+SmCore::decodeStage()
+{
+    if (!kernel_)
+        return;
+    for (int s = 0; s < cfg_.schedulers; ++s) {
+        // Round-robin pick of one warp of this scheduler's parity.
+        const int slots = cfg_.max_warps / cfg_.schedulers;
+        for (int k = 0; k < slots; ++k) {
+            const int w = ((decode_rr_[s] + k) % slots) * cfg_.schedulers + s;
+            WarpState &ws = warps_[static_cast<std::size_t>(w)];
+            if (!ws.exists || ws.done || ws.decode_done ||
+                static_cast<int>(ws.ibuf.size()) >= cfg_.ibuffer_entries) {
+                continue;
+            }
+            decodeOneWarp(ws);
+            decode_rr_[s] = (w / cfg_.schedulers + 1) % slots;
+            break;
+        }
+    }
+}
+
+// ------------------------------------------------------------ LDST unit
+
+int
+SmCore::allocLoadSlot(int warp, std::uint64_t regmask, int lines)
+{
+    CABA_CHECK(!free_load_slots_.empty(), "load slot pool exhausted");
+    const int slot = free_load_slots_.back();
+    free_load_slots_.pop_back();
+    PendingLoad &pl = loads_[static_cast<std::size_t>(slot)];
+    pl.active = true;
+    pl.warp = warp;
+    pl.regmask = regmask;
+    pl.lines_left = lines;
+    return slot;
+}
+
+void
+SmCore::loadLineDone(int slot)
+{
+    if (slot < 0)
+        return;
+    PendingLoad &pl = loads_[static_cast<std::size_t>(slot)];
+    CABA_CHECK(pl.active, "completion for dead load");
+    if (--pl.lines_left == 0) {
+        if (pl.warp != kInvalidWarp)
+            warps_[static_cast<std::size_t>(pl.warp)].pending_regs &=
+                ~pl.regmask;
+        pl.active = false;
+        free_load_slots_.push_back(slot);
+    }
+}
+
+void
+SmCore::commitStoreLine(Addr line)
+{
+    std::uint8_t buf[kLineSize];
+    kernel_->outputLine(line, buf);
+    backing_->write(line, buf);
+}
+
+void
+SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok)
+{
+    MemRequest req;
+    req.id = next_req_id_++;
+    req.line = line;
+    req.is_write = true;
+    req.full_line = full_line;
+    req.src_sm = id_;
+    if (compressed_ok && design_.xbar_compressed) {
+        const CompressedLine &cl = model_->lookup(line);
+        req.payload_bytes = cl.size();
+        req.compressed = !cl.isUncompressed();
+        req.encoding = cl.encoding;
+        ++n_.stores_sent_compressed;
+        if (design_.decompress == DecompressSite::L1Hw)
+            ++n_.hw_store_compressions;
+    } else {
+        req.payload_bytes = kLineSize;
+        ++n_.stores_sent_uncompressed;
+    }
+    out_req_.push_back(req);
+}
+
+bool
+SmCore::triggerDecompress(Addr line, AssistPurpose purpose,
+                          std::uint64_t token)
+{
+    const Codec &codec = getCodec(design_.algo);
+    const CompressedLine &cl = model_->lookup(line);
+    AssistWarp aw;
+    aw.parent_warp = kInvalidWarp;
+    aw.priority = awc_.config().decompress_high_priority
+        ? AssistPriority::High : AssistPriority::Low;
+    aw.purpose = purpose;
+    aw.code = &aws_->decompressRoutine(codec, cl);
+    aw.line = line;
+    aw.token = token;
+    return awc_.trigger(std::move(aw));
+}
+
+void
+SmCore::maybePrefetch(Addr line, int stream)
+{
+    if (!extras_.prefetch || stream < 0)
+        return;
+    // Stride assist warp (Section 7.2): computes the lookahead address
+    // and issues a prefetch, deployed at low priority so it only uses
+    // idle slots.
+    AssistWarp aw;
+    aw.priority = AssistPriority::Low;
+    aw.purpose = AssistPurpose::Prefetch;
+    aw.code = &aws_->prefetchRoutine();
+    aw.line = line + static_cast<Addr>(extras_.prefetch_lookahead) *
+                         kLineSize;
+    aw.token = 0;
+    if (awc_.trigger(std::move(aw)))
+        ++n_.prefetch_warps;
+}
+
+void
+SmCore::drainLdst(Cycle now)
+{
+    if (!ldst_.busy)
+        return;
+    for (int n = 0; n < cfg_.lines_per_cycle; ++n) {
+        if (ldst_.cursor >= ldst_.access.lines.size()) {
+            ldst_.busy = false;
+            return;
+        }
+        const Addr line = ldst_.access.lines[ldst_.cursor];
+        if (!ldst_.is_store) {
+            // ---- load line ----
+            // Probe without counting first so replayed lines do not
+            // inflate hit/miss statistics or churn LRU state.
+            if (!l1_.contains(line)) {
+                auto it = mshrs_.find(line);
+                if (it != mshrs_.end()) {
+                    l1_.access(line);   // counts the miss
+                    it->second.push_back(ldst_.load_slot);
+                    ++n_.l1_load_misses;
+                    ++n_.mshr_merges;
+                    ++ldst_.cursor;
+                    continue;
+                }
+                if (static_cast<int>(mshrs_.size()) >= cfg_.mshr_entries ||
+                    static_cast<int>(out_req_.size()) >= cfg_.out_queue) {
+                    ldst_stalled_this_cycle_ = true;
+                    saw_mem_block_ = true;
+                    return;         // structural memory stall; replay
+                }
+                l1_.access(line);       // counts the miss
+                ++n_.l1_load_misses;
+                mshrs_[line] = {ldst_.load_slot};
+                MemRequest req;
+                req.id = next_req_id_++;
+                req.line = line;
+                req.is_write = false;
+                req.src_sm = id_;
+                req.warp = ldst_.warp;
+                req.created = now;
+                req.payload_bytes = 8;  // read request header
+                out_req_.push_back(req);
+                ++ldst_.cursor;
+                continue;
+            }
+            if (l1_.access(line)) {
+                ++n_.l1_load_hits;
+                if (design_.l1_tag_factor > 1 && design_.usesCaba() &&
+                    !model_->lookup(line).isUncompressed()) {
+                    // Compressed L1 (Section 6.5): every hit pays a
+                    // decompression assist warp.
+                    if (!triggerDecompress(
+                            line, AssistPurpose::DecompressHit,
+                            static_cast<std::uint64_t>(ldst_.load_slot))) {
+                        ldst_stalled_this_cycle_ = true;
+                        saw_mem_block_ = true;
+                        return;     // AWT full: retry this line next cycle
+                    }
+                } else {
+                    Event ev;
+                    ev.kind = Event::Kind::LoadLineDone;
+                    ev.load_slot = ldst_.load_slot;
+                    scheduleEvent(now + cfg_.l1_latency, ev, now);
+                }
+                ++ldst_.cursor;
+                continue;
+            }
+            CABA_PANIC("L1 probe/access disagreement");
+        } else {
+            // ---- store line ----
+            if (static_cast<int>(out_req_.size()) >= cfg_.out_queue) {
+                ldst_stalled_this_cycle_ = true;
+                saw_mem_block_ = true;
+                return;
+            }
+            commitStoreLine(line);
+            // L1 is write-evict for global stores.
+            Eviction ev;
+            l1_.invalidate(line, &ev);
+
+            if (design_.caba_compress_stores) {
+                // A newer store to a line whose compression is still in
+                // flight supersedes it: kill the stale assist warp
+                // (Section 3.4) and recompress the fresh contents.
+                for (auto it = comp_stores_.begin();
+                     it != comp_stores_.end();) {
+                    if (it->second.line == line) {
+                        awc_.killByToken(it->first, AssistPurpose::Compress);
+                        it = comp_stores_.erase(it);
+                        stats_add_store_kill_ += 1;
+                    } else {
+                        ++it;
+                    }
+                }
+                if (static_cast<int>(comp_stores_.size()) <
+                        awc_.config().store_buffer &&
+                    awc_.hasRoom()) {
+                    const std::uint64_t token = next_store_token_++;
+                    comp_stores_[token] = {line, ldst_.access.full_line};
+                    AssistWarp aw;
+                    aw.parent_warp = ldst_.warp;
+                    aw.priority = awc_.config().compress_low_priority
+                        ? AssistPriority::Low : AssistPriority::High;
+                    aw.purpose = AssistPurpose::Compress;
+                    aw.code = &aws_->compressRoutine(getCodec(design_.algo));
+                    aw.line = line;
+                    aw.token = token;
+                    const bool ok = awc_.trigger(std::move(aw));
+                    CABA_CHECK(ok, "AWT trigger failed despite hasRoom");
+                    ++n_.stores_buffered;
+                } else {
+                    // Buffer overflow: release uncompressed (Section
+                    // 4.2.2, step 4).
+                    ++n_.store_buffer_overflows;
+                    emitStoreRequest(line, ldst_.access.full_line, false);
+                }
+            } else {
+                const bool hw_compress =
+                    design_.xbar_compressed && design_.usesCompression();
+                emitStoreRequest(line, ldst_.access.full_line, hw_compress);
+            }
+            ++ldst_.cursor;
+        }
+    }
+    if (ldst_.cursor >= ldst_.access.lines.size())
+        ldst_.busy = false;
+}
+
+// ------------------------------------------------------------ CABA hooks
+
+void
+SmCore::reapAssistWarps(Cycle now)
+{
+    if (awc_.table().empty())
+        return;
+    std::vector<AssistWarp> finished;
+    awc_.reapFinished(now, &finished);
+    for (const AssistWarp &aw : finished) {
+        switch (aw.purpose) {
+          case AssistPurpose::DecompressFill:
+            ++n_.caba_decompressions;
+            completeFill(aw.line, now);
+            break;
+          case AssistPurpose::DecompressHit:
+            ++n_.caba_hit_decompressions;
+            loadLineDone(static_cast<int>(aw.token));
+            break;
+          case AssistPurpose::Compress: {
+            ++n_.caba_compressions;
+            auto it = comp_stores_.find(aw.token);
+            CABA_CHECK(it != comp_stores_.end(), "orphan compress warp");
+            emitStoreRequest(it->second.line, it->second.full_line, true);
+            comp_stores_.erase(it);
+            break;
+          }
+          case AssistPurpose::Memoize:
+            
+            break;
+          case AssistPurpose::Prefetch: {
+            // Issue the prefetch if it is useful and resources allow.
+            const Addr line = aw.line;
+            if (!l1_.contains(line) && !mshrs_.count(line) &&
+                static_cast<int>(mshrs_.size()) < cfg_.mshr_entries &&
+                static_cast<int>(out_req_.size()) < cfg_.out_queue) {
+                mshrs_[line] = {};      // fill with no waiters
+                MemRequest req;
+                req.id = next_req_id_++;
+                req.line = line;
+                req.src_sm = id_;
+                req.payload_bytes = 8;
+                out_req_.push_back(req);
+                ++n_.prefetches_issued;
+            } else {
+                ++n_.prefetches_dropped;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+SmCore::retryPendingFills(Cycle now)
+{
+    (void)now;
+    while (!pending_fills_.empty()) {
+        const Addr line = pending_fills_.front();
+        if (!triggerDecompress(line, AssistPurpose::DecompressFill, 0))
+            return;
+        pending_fills_.pop_front();
+    }
+}
+
+void
+SmCore::completeFill(Addr line, Cycle now)
+{
+    (void)now;
+    const int bytes = design_.l1_tag_factor > 1
+        ? model_->compressedSize(line) : kLineSize;
+    std::vector<Eviction> evicted;
+    l1_.insert(line, bytes, false, &evicted);   // L1 is write-evict: clean
+    auto it = mshrs_.find(line);
+    if (it == mshrs_.end())
+        return;                                 // e.g. prefetch raced
+    for (int slot : it->second)
+        loadLineDone(slot);
+    mshrs_.erase(it);
+}
+
+void
+SmCore::deliver(const MemRequest &reply, Cycle now)
+{
+    ++n_.fills;
+    n_.fill_latency_total += now - reply.created;
+    if (reply.compressed) {
+        switch (design_.decompress) {
+          case DecompressSite::L1Caba:
+            ++n_.fills_compressed;
+            if (!triggerDecompress(reply.line, AssistPurpose::DecompressFill,
+                                   0)) {
+                pending_fills_.push_back(reply.line);
+            }
+            return;
+          case DecompressSite::L1Hw: {
+            Event ev;
+            ev.kind = Event::Kind::FillDone;
+            ev.line = reply.line;
+            const int lat =
+                std::max(1, getCodec(design_.algo).hwDecompressLatency());
+            scheduleEvent(now + lat, ev, now);
+            ++n_.hw_l1_decompressions;
+            return;
+          }
+          case DecompressSite::Free:
+          case DecompressSite::MemCtrl:
+          case DecompressSite::None:
+            break;
+        }
+    }
+    completeFill(reply.line, now);
+}
+
+MemRequest
+SmCore::popOutgoing()
+{
+    CABA_CHECK(!out_req_.empty(), "pop from empty out queue");
+    MemRequest req = out_req_.front();
+    out_req_.pop_front();
+    return req;
+}
+
+// ------------------------------------------------------------ issue
+
+bool
+SmCore::warpReady(const WarpState &w) const
+{
+    if (!w.exists || w.done || w.ibuf.empty())
+        return false;
+    const Instruction &inst = *w.ibuf.front().inst;
+    std::uint64_t need = 0;
+    if (inst.dst >= 0)
+        need |= std::uint64_t{1} << inst.dst;
+    if (inst.src0 >= 0)
+        need |= std::uint64_t{1} << inst.src0;
+    if (inst.src1 >= 0)
+        need |= std::uint64_t{1} << inst.src1;
+    return (w.pending_regs & need) == 0;
+}
+
+bool
+SmCore::tryIssueRegular(int warp, Cycle now)
+{
+    WarpState &w = warps_[static_cast<std::size_t>(warp)];
+    const DecodedInst di = w.ibuf.front();
+    const Instruction &inst = *di.inst;
+
+    switch (inst.op) {
+      case Opcode::AluInt:
+      case Opcode::AluFp:
+      case Opcode::Mov: {
+        if (alu_inflight_ >= cfg_.alu_inflight_max) {
+            saw_compute_block_ = true;
+            return false;
+        }
+        ++alu_inflight_;
+        Event ev;
+        ev.warp = warp;
+        ev.pipe = 1;
+        if (inst.dst >= 0) {
+            ev.regmask = std::uint64_t{1} << inst.dst;
+            w.pending_regs |= ev.regmask;
+        }
+        scheduleEvent(now + cfg_.alu_latency, ev, now);
+        ++n_.issued_alu;
+        break;
+      }
+      case Opcode::Sfu: {
+        if (sfu_inflight_ >= cfg_.sfu_inflight_max || sfu_port_used_) {
+            saw_compute_block_ = true;
+            return false;
+        }
+        sfu_port_used_ = true;
+        // Memoization (Section 7.1): a fraction of SFU computations hit
+        // the shared-memory LUT and complete at shared-memory latency.
+        bool memo_hit = false;
+        if (extras_.memoize) {
+            memo_hit = rng_.chance(extras_.memo_hit_rate);
+            AssistWarp aw;
+            aw.parent_warp = warp;
+            aw.priority = AssistPriority::Low;
+            aw.purpose = AssistPurpose::Memoize;
+            aw.code = &aws_->memoizeRoutine();
+            if (awc_.trigger(std::move(aw)))
+                ++n_.memoize_warps;
+        }
+        Event ev;
+        ev.warp = warp;
+        if (inst.dst >= 0) {
+            ev.regmask = std::uint64_t{1} << inst.dst;
+            w.pending_regs |= ev.regmask;
+        }
+        if (memo_hit) {
+            ev.pipe = 0;
+            scheduleEvent(now + cfg_.shmem_latency, ev, now);
+            ++n_.memo_hits;
+        } else {
+            ++sfu_inflight_;
+            ev.pipe = 2;
+            scheduleEvent(now + cfg_.sfu_latency, ev, now);
+        }
+        ++n_.issued_sfu;
+        break;
+      }
+      case Opcode::LdShared:
+      case Opcode::StShared: {
+        if (mem_port_used_) {
+            saw_mem_block_ = true;
+            return false;
+        }
+        mem_port_used_ = true;
+        if (inst.op == Opcode::LdShared && inst.dst >= 0) {
+            Event ev;
+            ev.warp = warp;
+            ev.regmask = std::uint64_t{1} << inst.dst;
+            w.pending_regs |= ev.regmask;
+            scheduleEvent(now + cfg_.shmem_latency, ev, now);
+        }
+        ++n_.issued_shmem;
+        break;
+      }
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal: {
+        if (mem_port_used_ || ldst_.busy ||
+            (inst.op == Opcode::LdGlobal && free_load_slots_.empty())) {
+            saw_mem_block_ = true;
+            return false;
+        }
+        mem_port_used_ = true;
+        ldst_.busy = true;
+        ldst_.is_store = inst.op == Opcode::StGlobal;
+        ldst_.warp = warp;
+        ldst_.cursor = 0;
+        kernel_->genLines(inst.stream, w.global_id, di.iter, &ldst_.access);
+        if (!ldst_.is_store) {
+            std::uint64_t mask = 0;
+            if (inst.dst >= 0)
+                mask = std::uint64_t{1} << inst.dst;
+            if (ldst_.access.lines.empty()) {
+                // Degenerate: nothing to fetch.
+                ldst_.busy = false;
+            } else {
+                w.pending_regs |= mask;
+                ldst_.load_slot = allocLoadSlot(
+                    warp, mask,
+                    static_cast<int>(ldst_.access.lines.size()));
+                maybePrefetch(ldst_.access.lines.front(), inst.stream);
+            }
+            ++n_.issued_global_loads;
+        } else {
+            ldst_.load_slot = -1;
+            if (ldst_.access.lines.empty())
+                ldst_.busy = false;
+            ++n_.issued_global_stores;
+        }
+        n_.global_lines_accessed += ldst_.access.lines.size();
+        break;
+      }
+      case Opcode::Branch:
+        ++n_.issued_branches;
+        break;
+      case Opcode::Exit:
+        w.done = true;
+        --live_warps_;
+        ++n_.warps_retired;
+        break;
+    }
+
+    w.ibuf.pop();
+    ++instr_issued_;
+    return true;
+}
+
+bool
+SmCore::tryIssueAssist(AssistWarp &aw, Cycle now)
+{
+    const AssistInstr &ai = (*aw.code)[static_cast<std::size_t>(aw.next)];
+    if (ai.is_mem) {
+        if (mem_port_used_)
+            return false;
+        mem_port_used_ = true;
+        ++n_.assist_mem_issued;
+    } else {
+        if (alu_inflight_ >= cfg_.alu_inflight_max)
+            return false;
+        ++alu_inflight_;
+        Event ev;
+        ev.pipe = 1;
+        scheduleEvent(now + cfg_.alu_latency, ev, now);
+        ++n_.assist_alu_issued;
+    }
+    aw.ready_at = now + ai.latency;
+    ++aw.next;
+    ++n_.assist_instructions;
+    return true;
+}
+
+void
+SmCore::issueStage(Cycle now)
+{
+    if (!kernel_)
+        return;
+    for (int s = 0; s < cfg_.schedulers; ++s) {
+        bool issued = false;
+
+        // 1. High-priority assist warps take precedence (Section 3.2.3).
+        auto &table = awc_.table();
+        const int tsize = static_cast<int>(table.size());
+        for (int k = 0; k < tsize && !issued; ++k) {
+            AssistWarp &aw = table[static_cast<std::size_t>(
+                (assist_rr_ + k) % tsize)];
+            if (aw.priority != AssistPriority::High || aw.finishedIssuing() ||
+                aw.ready_at > now) {
+                continue;
+            }
+            if (tryIssueAssist(aw, now)) {
+                issued = true;
+                assist_rr_ = (assist_rr_ + k + 1) % std::max(tsize, 1);
+            }
+        }
+
+        // 2. Regular warps: greedy-then-oldest (Table 1), or loose
+        // round-robin when cfg_.gto is off (scheduler ablation).
+        if (!issued) {
+            const int g = greedy_warp_[static_cast<std::size_t>(s)];
+            if (cfg_.gto && g != kInvalidWarp &&
+                warpReady(warps_[static_cast<std::size_t>(g)])) {
+                issued = tryIssueRegular(g, now);
+            }
+            if (!issued) {
+                const int slots = cfg_.max_warps / cfg_.schedulers;
+                const int start =
+                    cfg_.gto ? 0 : lrr_next_[static_cast<std::size_t>(s)];
+                for (int k = 0; k < slots; ++k) {
+                    const int w =
+                        ((start + k) % slots) * cfg_.schedulers + s;
+                    const WarpState &ws = warps_[static_cast<std::size_t>(w)];
+                    if (!ws.exists || ws.done)
+                        continue;
+                    if (!ws.ibuf.empty() && !warpReady(ws)) {
+                        saw_data_block_ = true;
+                        continue;
+                    }
+                    if (!warpReady(ws))
+                        continue;
+                    if (tryIssueRegular(w, now)) {
+                        issued = true;
+                        greedy_warp_[static_cast<std::size_t>(s)] = w;
+                        lrr_next_[static_cast<std::size_t>(s)] =
+                            (start + k + 1) % slots;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 3. Low-priority assist warps fill idle slots (Section 3.4).
+        for (int k = 0; k < tsize && !issued; ++k) {
+            AssistWarp &aw = table[static_cast<std::size_t>(
+                (assist_rr_ + k) % tsize)];
+            if (aw.priority != AssistPriority::Low || aw.finishedIssuing() ||
+                aw.ready_at > now || !awc_.eligible(aw)) {
+                continue;
+            }
+            if (tryIssueAssist(aw, now)) {
+                issued = true;
+                ++n_.assist_idle_slot_issues;
+            }
+        }
+
+        awc_.noteIssueSlot(issued);
+        issued_any_ = issued_any_ || issued;
+    }
+}
+
+void
+SmCore::classifyCycle()
+{
+    if (live_warps_ == 0 && awc_.table().empty())
+        return;     // retired SM: not counted in the issue breakdown
+    if (issued_any_) {
+        ++breakdown_.active;
+    } else if (saw_mem_block_ || ldst_stalled_this_cycle_) {
+        ++breakdown_.mem_stall;
+    } else if (saw_compute_block_) {
+        ++breakdown_.comp_stall;
+    } else if (saw_data_block_) {
+        ++breakdown_.data_stall;
+    } else {
+        ++breakdown_.idle;
+    }
+}
+
+StatSet
+SmCore::stats() const
+{
+    StatSet s;
+    s.set("issued_alu", n_.issued_alu);
+    s.set("issued_sfu", n_.issued_sfu);
+    s.set("issued_shmem", n_.issued_shmem);
+    s.set("issued_branches", n_.issued_branches);
+    s.set("issued_global_loads", n_.issued_global_loads);
+    s.set("issued_global_stores", n_.issued_global_stores);
+    s.set("global_lines_accessed", n_.global_lines_accessed);
+    s.set("warps_retired", n_.warps_retired);
+    s.set("l1_load_hits", n_.l1_load_hits);
+    s.set("l1_load_misses", n_.l1_load_misses);
+    s.set("mshr_merges", n_.mshr_merges);
+    s.set("assist_alu_issued", n_.assist_alu_issued);
+    s.set("assist_mem_issued", n_.assist_mem_issued);
+    s.set("assist_instructions", n_.assist_instructions);
+    s.set("assist_idle_slot_issues", n_.assist_idle_slot_issues);
+    s.set("fills", n_.fills);
+    s.set("fill_latency_total", n_.fill_latency_total);
+    s.set("fills_compressed", n_.fills_compressed);
+    s.set("caba_decompressions", n_.caba_decompressions);
+    s.set("caba_hit_decompressions", n_.caba_hit_decompressions);
+    s.set("caba_compressions", n_.caba_compressions);
+    s.set("hw_l1_decompressions", n_.hw_l1_decompressions);
+    s.set("hw_store_compressions", n_.hw_store_compressions);
+    s.set("stores_sent_compressed", n_.stores_sent_compressed);
+    s.set("stores_sent_uncompressed", n_.stores_sent_uncompressed);
+    s.set("stores_buffered_for_compression", n_.stores_buffered);
+    s.set("store_buffer_overflows", n_.store_buffer_overflows);
+    s.set("stale_compressions_killed", stats_add_store_kill_);
+    s.set("memo_hits", n_.memo_hits);
+    s.set("memoize_warps", n_.memoize_warps);
+    s.set("prefetch_warps", n_.prefetch_warps);
+    s.set("prefetches_issued", n_.prefetches_issued);
+    s.set("prefetches_dropped", n_.prefetches_dropped);
+    return s;
+}
+
+bool
+SmCore::done() const
+{
+    return live_warps_ == 0 && outstanding_events_ == 0 && mshrs_.empty() &&
+           !ldst_.busy && out_req_.empty() && comp_stores_.empty() &&
+           pending_fills_.empty() && awc_.table().empty();
+}
+
+} // namespace caba

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * One streaming multiprocessor: fine-grained multithreaded warps fed
+ * through per-warp instruction buffers into two GTO schedulers, with
+ * ALU/SFU/LDST pipelines, a coalescing LDST unit with MSHRs and an L1,
+ * and the CABA machinery (AWC/AWT/AWB + AWS-supplied subroutines)
+ * grafted onto the issue stage exactly as in Figure 3.
+ *
+ * The core also attributes every no-issue cycle to one of the paper's
+ * Figure 1 categories (memory structural, compute structural, data
+ * dependence, idle).
+ */
+#ifndef CABA_SIM_SM_CORE_H
+#define CABA_SIM_SM_CORE_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "caba/awc.h"
+#include "caba/aws.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gpu/design.h"
+#include "mem/backing_store.h"
+#include "mem/cache.h"
+#include "mem/compression_model.h"
+#include "mem/request.h"
+#include "sim/kernel.h"
+
+namespace caba {
+
+/** SM pipeline parameters (Table 1 defaults). */
+struct SmConfig
+{
+    int max_warps = 48;
+    int schedulers = 2;
+    int ibuffer_entries = 2;
+    int decode_width = 2;       ///< Instructions decoded per warp pick.
+
+    int alu_latency = 6;
+    int sfu_latency = 24;
+    int shmem_latency = 24;
+    int l1_latency = 20;
+
+    /** Operand-collector style in-flight caps (structural stall source). */
+    int alu_inflight_max = 12;
+    int sfu_inflight_max = 4;
+
+    int mshr_entries = 64;
+    int out_queue = 32;
+    int lines_per_cycle = 2;    ///< Coalesced lines the LDST handles/cycle.
+
+    CacheConfig l1{16 * 1024, 4, 1};
+
+    bool gto = true;            ///< Greedy-then-oldest (else loose RR).
+};
+
+/** Optional CABA applications beyond compression (Section 7). */
+struct ExtrasConfig
+{
+    bool memoize = false;
+    double memo_hit_rate = 0.0;     ///< Workload input-redundancy level.
+
+    bool prefetch = false;
+    int prefetch_lookahead = 4;     ///< Lines ahead of the demand stream.
+};
+
+/** Figure 1 issue-cycle breakdown. */
+struct CycleBreakdown
+{
+    std::uint64_t active = 0;
+    std::uint64_t mem_stall = 0;
+    std::uint64_t comp_stall = 0;
+    std::uint64_t data_stall = 0;
+    std::uint64_t idle = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return active + mem_stall + comp_stall + data_stall + idle;
+    }
+};
+
+/** One streaming multiprocessor. */
+class SmCore
+{
+  public:
+    SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
+           const CabaConfig &caba_cfg, const ExtrasConfig &extras,
+           AssistWarpStore *aws, CompressionModel *model,
+           BackingStore *backing);
+
+    /**
+     * Launches @p num_warps warps of @p kernel on this SM. Global warp
+     * ids are @p warp_global_base + k * @p warp_global_stride — thread
+     * blocks distribute round-robin across SMs, so stride = num SMs.
+     */
+    void launch(const KernelInfo *kernel, int num_warps,
+                int warp_global_base, int warp_global_stride = 1);
+
+    /** Advances the core one cycle. */
+    void cycle(Cycle now);
+
+    /** True when every warp retired and all machinery drained. */
+    bool done() const;
+
+    // -- crossbar-facing interface --
+
+    bool hasOutgoing() const { return !out_req_.empty(); }
+    const MemRequest &peekOutgoing() const { return out_req_.front(); }
+    MemRequest popOutgoing();
+
+    /** Fill/reply delivery from the reply crossbar. */
+    void deliver(const MemRequest &reply, Cycle now);
+
+    // -- inspection --
+
+    int id() const { return id_; }
+    const CycleBreakdown &breakdown() const { return breakdown_; }
+
+    /** Snapshot of every per-SM counter. */
+    StatSet stats() const;
+    const Cache &l1() const { return l1_; }
+    const AssistWarpController &awc() const { return awc_; }
+    std::uint64_t instructionsIssued() const { return instr_issued_; }
+
+  private:
+    struct DecodedInst
+    {
+        const Instruction *inst = nullptr;
+        int iter = 0;
+    };
+
+    /** Fixed-capacity instruction buffer (2 entries per Table 1). */
+    struct IBuf
+    {
+        DecodedInst slots[4];
+        std::uint8_t head = 0;
+        std::uint8_t count = 0;
+
+        bool empty() const { return count == 0; }
+        int size() const { return count; }
+        const DecodedInst &front() const { return slots[head]; }
+
+        void
+        push(const DecodedInst &d)
+        {
+            slots[(head + count) & 3] = d;
+            ++count;
+        }
+
+        void
+        pop()
+        {
+            head = (head + 1) & 3;
+            --count;
+        }
+    };
+
+    struct WarpState
+    {
+        bool exists = false;
+        bool done = false;
+        bool decode_done = false;
+        int pc = 0;
+        int iter = 0;
+        int trips_left = 0;
+        int global_id = 0;
+        std::uint64_t pending_regs = 0;
+        IBuf ibuf;
+    };
+
+    /** Delayed writeback / pipeline-release event. */
+    struct Event
+    {
+        enum class Kind : std::uint8_t {
+            RegWriteback,   ///< Clear regs; release alu/sfu slot.
+            LoadLineDone,   ///< One coalesced line of a load finished.
+            FillDone,       ///< HW decompression at L1 fill finished.
+        };
+        Kind kind = Kind::RegWriteback;
+        int warp = kInvalidWarp;
+        std::uint64_t regmask = 0;
+        int pipe = 0;           ///< 0 none, 1 alu, 2 sfu.
+        int load_slot = -1;
+        Addr line = 0;
+    };
+
+    struct PendingLoad
+    {
+        bool active = false;
+        int warp = kInvalidWarp;
+        std::uint64_t regmask = 0;
+        int lines_left = 0;
+    };
+
+    struct LdstState
+    {
+        bool busy = false;
+        bool is_store = false;
+        int warp = kInvalidWarp;
+        int load_slot = -1;
+        MemAccess access;
+        std::size_t cursor = 0;
+    };
+
+    struct PendingStore
+    {
+        Addr line = 0;
+        bool full_line = true;
+    };
+
+    // pipeline stages
+    void processEvents(Cycle now);
+    void reapAssistWarps(Cycle now);
+    void retryPendingFills(Cycle now);
+    void drainLdst(Cycle now);
+    void decodeStage();
+    void issueStage(Cycle now);
+    void classifyCycle();
+
+    // helpers
+    void decodeOneWarp(WarpState &w);
+    bool warpReady(const WarpState &w) const;
+    bool tryIssueRegular(int warp, Cycle now);
+    bool tryIssueAssist(AssistWarp &aw, Cycle now);
+    void scheduleEvent(Cycle at, Event ev, Cycle now);
+    void loadLineDone(int slot);
+    void completeFill(Addr line, Cycle now);
+    void emitStoreRequest(Addr line, bool full_line, bool compressed_ok);
+    void commitStoreLine(Addr line);
+    int allocLoadSlot(int warp, std::uint64_t regmask, int lines);
+    bool triggerDecompress(Addr line, AssistPurpose purpose,
+                           std::uint64_t token);
+    void maybePrefetch(Addr line, int stream);
+
+    static constexpr int kRingSize = 64;
+
+    int id_;
+    SmConfig cfg_;
+    DesignConfig design_;
+    ExtrasConfig extras_;
+    AssistWarpStore *aws_;
+    CompressionModel *model_;
+    BackingStore *backing_;
+    const KernelInfo *kernel_ = nullptr;
+
+    Cache l1_;
+    AssistWarpController awc_;
+    Rng rng_;
+
+    std::vector<WarpState> warps_;
+    std::vector<PendingLoad> loads_;
+    std::vector<int> free_load_slots_;
+    std::unordered_map<Addr, std::vector<int>> mshrs_;
+    LdstState ldst_;
+    std::deque<MemRequest> out_req_;
+    std::deque<Addr> pending_fills_;            ///< Awaiting AWT room.
+    std::unordered_map<std::uint64_t, PendingStore> comp_stores_;
+    std::uint64_t next_store_token_ = 1;
+    std::uint64_t next_req_id_ = 1;
+
+    std::vector<std::vector<Event>> ring_;
+    int outstanding_events_ = 0;
+
+    // per-cycle port state
+    int alu_inflight_ = 0;
+    int sfu_inflight_ = 0;
+    bool mem_port_used_ = false;
+    bool sfu_port_used_ = false;
+    bool ldst_stalled_this_cycle_ = false;
+
+    // per-cycle classification hints
+    bool saw_mem_block_ = false;
+    bool saw_compute_block_ = false;
+    bool saw_data_block_ = false;
+    bool issued_any_ = false;
+
+    // schedulers
+    std::vector<int> greedy_warp_;
+    std::vector<int> decode_rr_;
+    std::vector<int> lrr_next_;     ///< Rotation points for LRR mode.
+    int assist_rr_ = 0;
+
+    CycleBreakdown breakdown_;
+    std::uint64_t instr_issued_ = 0;
+    int live_warps_ = 0;
+
+    /** Hot-path counters (assembled into a StatSet by stats()). */
+    struct Counters
+    {
+        std::uint64_t issued_alu = 0;
+        std::uint64_t issued_sfu = 0;
+        std::uint64_t issued_shmem = 0;
+        std::uint64_t issued_branches = 0;
+        std::uint64_t issued_global_loads = 0;
+        std::uint64_t issued_global_stores = 0;
+        std::uint64_t global_lines_accessed = 0;
+        std::uint64_t warps_retired = 0;
+        std::uint64_t l1_load_hits = 0;
+        std::uint64_t l1_load_misses = 0;
+        std::uint64_t mshr_merges = 0;
+        std::uint64_t assist_alu_issued = 0;
+        std::uint64_t assist_mem_issued = 0;
+        std::uint64_t assist_instructions = 0;
+        std::uint64_t assist_idle_slot_issues = 0;
+        std::uint64_t fills = 0;
+        std::uint64_t fill_latency_total = 0;
+        std::uint64_t fills_compressed = 0;
+        std::uint64_t caba_decompressions = 0;
+        std::uint64_t caba_hit_decompressions = 0;
+        std::uint64_t caba_compressions = 0;
+        std::uint64_t hw_l1_decompressions = 0;
+        std::uint64_t hw_store_compressions = 0;
+        std::uint64_t stores_sent_compressed = 0;
+        std::uint64_t stores_sent_uncompressed = 0;
+        std::uint64_t stores_buffered = 0;
+        std::uint64_t store_buffer_overflows = 0;
+        std::uint64_t memo_hits = 0;
+        std::uint64_t memoize_warps = 0;
+        std::uint64_t prefetch_warps = 0;
+        std::uint64_t prefetches_issued = 0;
+        std::uint64_t prefetches_dropped = 0;
+    };
+    Counters n_;
+    std::uint64_t stats_add_store_kill_ = 0;
+};
+
+} // namespace caba
+
+#endif // CABA_SIM_SM_CORE_H

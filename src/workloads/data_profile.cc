@@ -1,0 +1,194 @@
+#include "workloads/data_profile.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace caba {
+
+const char *
+dataProfileName(DataProfile p)
+{
+    switch (p) {
+      case DataProfile::Zeros: return "zeros";
+      case DataProfile::Pointer: return "pointer";
+      case DataProfile::SmallInt: return "small-int";
+      case DataProfile::Fp32: return "fp32";
+      case DataProfile::Text: return "text";
+      case DataProfile::Sparse: return "sparse";
+      case DataProfile::Index: return "index";
+      case DataProfile::Random: return "random";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-line deterministic stream: h(n) = mix(seed, line, n). */
+class LineRand
+{
+  public:
+    LineRand(std::uint64_t seed, Addr line)
+        : state_(mixHash(seed ^ mixHash(line)))
+    {}
+
+    std::uint64_t
+    next()
+    {
+        state_ = mixHash(state_ + 0x9E3779B97F4A7C15ull);
+        return state_;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+void
+genPointer(LineRand &r, Addr line, std::uint8_t *out)
+{
+    // Addresses into one allocation: shared high bits, small strides —
+    // the Figure 5 PVC pattern. Roughly a quarter of slots are null.
+    const std::uint64_t region =
+        0x800000000000ull + ((mixHash(line >> 14) & 0xFFFF) << 20);
+    for (int i = 0; i < kLineSize / 8; ++i) {
+        const std::uint64_t roll = r.next();
+        std::uint64_t v = 0;
+        if ((roll & 3) != 0)
+            v = region + ((roll >> 8) & 0xF) * 8;
+        storeLe(out + i * 8, 8, v);
+    }
+}
+
+void
+genSmallInt(LineRand &r, std::uint8_t *out)
+{
+    // Counters / indices: values fit in one byte, occasionally two.
+    for (int i = 0; i < kLineSize / 4; ++i) {
+        const std::uint64_t roll = r.next();
+        std::uint32_t v = static_cast<std::uint32_t>(roll & 0x7F);
+        if ((roll & 0x1F00) == 0)
+            v = static_cast<std::uint32_t>(roll & 0x7FFF);
+        storeLe(out + i * 4, 4, v);
+    }
+}
+
+void
+genFp32(LineRand &r, std::uint8_t *out)
+{
+    // Physical fields in [1, 4): two exponent values, noisy mantissas.
+    for (int i = 0; i < kLineSize / 4; ++i) {
+        const std::uint64_t roll = r.next();
+        const std::uint32_t exp = (roll & 1) ? 0x3F800000u : 0x40000000u;
+        const std::uint32_t mant =
+            static_cast<std::uint32_t>(roll >> 16) & 0x007FFFFFu;
+        storeLe(out + i * 4, 4, exp | mant);
+    }
+}
+
+void
+genText(LineRand &r, std::uint8_t *out)
+{
+    // Printable bytes in repeated runs (sequence/key data).
+    int i = 0;
+    while (i < kLineSize) {
+        const std::uint64_t roll = r.next();
+        const auto c = static_cast<std::uint8_t>(0x20 + (roll & 0x3F));
+        int run = 1 + static_cast<int>((roll >> 8) & 0x7);
+        while (run-- > 0 && i < kLineSize)
+            out[i++] = c;
+    }
+}
+
+void
+genSparse(LineRand &r, std::uint8_t *out)
+{
+    // CSR-ish adjacency data: ~75% zero words, the rest small indices.
+    for (int i = 0; i < kLineSize / 4; ++i) {
+        const std::uint64_t roll = r.next();
+        std::uint32_t v = 0;
+        if ((roll & 3) == 0)
+            v = static_cast<std::uint32_t>(roll >> 32) & 0xFFFF;
+        storeLe(out + i * 4, 4, v);
+    }
+}
+
+void
+genIndex(LineRand &r, Addr line, std::uint8_t *out)
+{
+    // Neighbor lists of a locality-renumbered graph: 4B indices near a
+    // per-neighborhood base, with occasional zero padding. Wide values
+    // defeat FPC's sign-extension patterns while the shared base suits
+    // base-delta and dictionary schemes.
+    const std::uint32_t base = static_cast<std::uint32_t>(
+        0x00100000u + ((mixHash(line >> 13) & 0x3FFF) << 7));
+    for (int i = 0; i < kLineSize / 4; ++i) {
+        const std::uint64_t roll = r.next();
+        std::uint32_t v = 0;
+        if ((roll & 7) != 7)
+            v = base + static_cast<std::uint32_t>((roll >> 8) & 0x7F);
+        storeLe(out + i * 4, 4, v);
+    }
+}
+
+void
+genRandom(LineRand &r, std::uint8_t *out)
+{
+    for (int i = 0; i < kLineSize / 8; ++i)
+        storeLe(out + i * 8, 8, r.next());
+}
+
+} // namespace
+
+void
+generateProfileLine(DataProfile profile, std::uint64_t seed, Addr line,
+                    std::uint8_t *out)
+{
+    LineRand r(seed, line);
+    switch (profile) {
+      case DataProfile::Zeros:
+        std::memset(out, 0, kLineSize);
+        return;
+      case DataProfile::Pointer:
+        genPointer(r, line, out);
+        return;
+      case DataProfile::SmallInt:
+        genSmallInt(r, out);
+        return;
+      case DataProfile::Fp32:
+        genFp32(r, out);
+        return;
+      case DataProfile::Text:
+        genText(r, out);
+        return;
+      case DataProfile::Sparse:
+        genSparse(r, out);
+        return;
+      case DataProfile::Index:
+        genIndex(r, line, out);
+        return;
+      case DataProfile::Random:
+        genRandom(r, out);
+        return;
+    }
+    CABA_PANIC("unknown data profile");
+}
+
+void
+generateMixLine(const DataMix &mix, std::uint64_t seed, Addr line,
+                std::uint8_t *out)
+{
+    const std::uint64_t roll = mixHash(seed ^ mixHash(line * 0x10001));
+    const double u =
+        static_cast<double>(roll >> 11) * (1.0 / 9007199254740992.0);
+    if (u < mix.zero_frac) {
+        std::memset(out, 0, kLineSize);
+        return;
+    }
+    const DataProfile p = (u < mix.zero_frac + mix.secondary_frac)
+        ? mix.secondary : mix.primary;
+    generateProfileLine(p, seed, line, out);
+}
+
+} // namespace caba

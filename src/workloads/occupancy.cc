@@ -1,0 +1,43 @@
+#include "workloads/occupancy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace caba {
+
+OccupancyResult
+computeOccupancy(const OccupancyParams &p)
+{
+    CABA_CHECK(p.threads_per_block > 0 && p.regs_per_thread > 0,
+               "bad occupancy parameters");
+
+    auto blocks_for = [&](int regs_per_thread) {
+        const int per_block = p.threads_per_block * regs_per_thread;
+        int blocks = std::min(p.max_blocks,
+                              p.max_threads / p.threads_per_block);
+        blocks = std::min(blocks, per_block > 0
+                                      ? p.regfile_regs / per_block
+                                      : p.max_blocks);
+        return std::max(blocks, 0);
+    };
+
+    OccupancyResult r;
+    const int base_blocks = blocks_for(p.regs_per_thread);
+    const int with_assist =
+        blocks_for(p.regs_per_thread + p.assist_regs_per_thread);
+
+    r.blocks_per_sm = with_assist;
+    r.warps_per_sm = with_assist * p.threads_per_block / kWarpSize;
+    r.assist_fits_free = with_assist == base_blocks;
+
+    const int allocated =
+        base_blocks * p.threads_per_block * p.regs_per_thread;
+    r.unallocated_reg_fraction =
+        1.0 - static_cast<double>(allocated) /
+                  static_cast<double>(p.regfile_regs);
+    return r;
+}
+
+} // namespace caba

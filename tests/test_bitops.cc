@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the bit-level helpers every codec builds on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "compress/bitstream.h"
+
+namespace caba {
+namespace {
+
+TEST(Bitops, LoadStoreRoundTripAllWidths)
+{
+    Rng rng(1);
+    std::uint8_t buf[8];
+    for (int width : {1, 2, 4, 8}) {
+        for (int trial = 0; trial < 1000; ++trial) {
+            const std::uint64_t v =
+                rng.next() & (width == 8 ? ~0ull
+                                         : ((1ull << (8 * width)) - 1));
+            storeLe(buf, width, v);
+            EXPECT_EQ(loadLe(buf, width), v);
+        }
+    }
+}
+
+TEST(Bitops, FitsSignedBoundaries)
+{
+    EXPECT_TRUE(fitsSigned(127, 1));
+    EXPECT_FALSE(fitsSigned(128, 1));
+    EXPECT_TRUE(fitsSigned(-128, 1));
+    EXPECT_FALSE(fitsSigned(-129, 1));
+    EXPECT_TRUE(fitsSigned(32767, 2));
+    EXPECT_FALSE(fitsSigned(32768, 2));
+    EXPECT_TRUE(fitsSigned(-2147483648ll, 4));
+    EXPECT_FALSE(fitsSigned(2147483648ll, 4));
+    EXPECT_TRUE(fitsSigned(1ll << 62, 8));
+}
+
+TEST(Bitops, FitsUnsignedBoundaries)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 1));
+    EXPECT_FALSE(fitsUnsigned(256, 1));
+    EXPECT_TRUE(fitsUnsigned(~0ull, 8));
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xFF, 1), -1);
+    EXPECT_EQ(signExtend(0x7F, 1), 127);
+    EXPECT_EQ(signExtend(0x8000, 2), -32768);
+    EXPECT_EQ(signExtend(0xFFFFFFFF, 4), -1);
+}
+
+TEST(Bitstream, RoundTripMixedWidths)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        BitWriter bw;
+        std::vector<std::pair<std::uint32_t, int>> fields;
+        for (int i = 0; i < 50; ++i) {
+            const int bits = 1 + static_cast<int>(rng.below(32));
+            const std::uint32_t v = static_cast<std::uint32_t>(
+                rng.next() & ((bits == 32) ? ~0u : ((1u << bits) - 1)));
+            fields.emplace_back(v, bits);
+            bw.put(v, bits);
+        }
+        BitReader br(bw.bytes().data(),
+                     static_cast<int>(bw.bytes().size()));
+        for (const auto &[v, bits] : fields)
+            EXPECT_EQ(br.get(bits), v);
+    }
+}
+
+TEST(Bitstream, BitCountMatchesBytes)
+{
+    BitWriter bw;
+    bw.put(0x5, 3);
+    bw.put(0x1F, 5);
+    EXPECT_EQ(bw.bitCount(), 8);
+    EXPECT_EQ(bw.bytes().size(), 1u);
+    bw.put(1, 1);
+    EXPECT_EQ(bw.bytes().size(), 2u);
+}
+
+TEST(Types, AlignHelpers)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(kLineSize - 1), 0u);
+    EXPECT_EQ(lineAddr(kLineSize), static_cast<Addr>(kLineSize));
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(divCeil(65, 32), 3u);
+    EXPECT_EQ(divCeil(64, 32), 2u);
+}
+
+} // namespace
+} // namespace caba

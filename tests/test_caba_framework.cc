@@ -1,0 +1,186 @@
+/**
+ * @file
+ * CABA framework unit tests: the Assist Warp Store's subroutine shapes
+ * (Section 4.1.2), the Assist Warp Controller's table management,
+ * priority/AWB staging rules, kill semantics (Section 3.4), and the
+ * utilization throttle.
+ */
+#include <gtest/gtest.h>
+
+#include "caba/awc.h"
+#include "caba/aws.h"
+#include "compress/registry.h"
+#include "workloads/data_profile.h"
+
+namespace caba {
+namespace {
+
+AssistWarp
+makeWarp(const std::vector<AssistInstr> *code, AssistPriority prio,
+         std::uint64_t token = 0)
+{
+    AssistWarp aw;
+    aw.priority = prio;
+    aw.purpose = AssistPurpose::DecompressFill;
+    aw.code = code;
+    aw.token = token;
+    return aw;
+}
+
+TEST(Aws, SubroutinesAreCachedPerEncoding)
+{
+    AssistWarpStore aws({6, 20});
+    const Codec &bdi = getCodec(Algorithm::Bdi);
+    std::uint8_t line[kLineSize];
+
+    generateProfileLine(DataProfile::Pointer, 1, 0, line);
+    const CompressedLine a = bdi.compress(line);
+    const auto &r1 = aws.decompressRoutine(bdi, a);
+    const auto &r2 = aws.decompressRoutine(bdi, a);
+    EXPECT_EQ(&r1, &r2);    // stable storage, one SR.ID
+
+    generateProfileLine(DataProfile::Zeros, 1, 0, line);
+    const CompressedLine z = bdi.compress(line);
+    aws.decompressRoutine(bdi, z);
+    EXPECT_GE(aws.numSubroutines(), 2);
+}
+
+TEST(Aws, SubroutineShapeMatchesCost)
+{
+    AssistWarpStore aws({6, 20});
+    const Codec &bdi = getCodec(Algorithm::Bdi);
+    std::uint8_t line[kLineSize];
+    generateProfileLine(DataProfile::Pointer, 1, 0, line);
+    const CompressedLine cl = bdi.compress(line);
+    const SubroutineCost cost = bdi.decompressCost(cl);
+    const auto &code = aws.decompressRoutine(bdi, cl);
+    // MOVE + (mem_ops-1) loads + alu_ops + 1 store.
+    EXPECT_EQ(static_cast<int>(code.size()),
+              1 + cost.alu_ops + cost.mem_ops);
+    int mem = 0;
+    for (const AssistInstr &i : code)
+        mem += i.is_mem;
+    EXPECT_EQ(mem, cost.mem_ops);
+    // The final store carries the memory latency.
+    EXPECT_TRUE(code.back().is_mem);
+    EXPECT_EQ(code.back().latency, 20);
+}
+
+TEST(Aws, CompressionRoutinesCostMoreForComplexAlgorithms)
+{
+    AssistWarpStore aws({6, 20});
+    const auto &bdi = aws.compressRoutine(getCodec(Algorithm::Bdi));
+    const auto &fpc = aws.compressRoutine(getCodec(Algorithm::Fpc));
+    const auto &cpk = aws.compressRoutine(getCodec(Algorithm::CPack));
+    EXPECT_LT(bdi.size(), fpc.size());
+    EXPECT_LE(fpc.size(), cpk.size());
+}
+
+TEST(Awc, TriggerTrackReap)
+{
+    CabaConfig cfg;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}, {true, 20}};
+    EXPECT_TRUE(awc.trigger(makeWarp(&code, AssistPriority::High)));
+    ASSERT_EQ(awc.table().size(), 1u);
+
+    // Simulate issuing both instructions.
+    AssistWarp &aw = awc.table()[0];
+    aw.ready_at = 5;
+    aw.next = 2;
+
+    std::vector<AssistWarp> done;
+    awc.reapFinished(4, &done);
+    EXPECT_TRUE(done.empty());      // latency not elapsed
+    awc.reapFinished(5, &done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_TRUE(awc.table().empty());
+    EXPECT_EQ(awc.stats().get("completions"), 1u);
+}
+
+TEST(Awc, AwtCapacityRejects)
+{
+    CabaConfig cfg;
+    cfg.awt_entries = 2;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    EXPECT_TRUE(awc.trigger(makeWarp(&code, AssistPriority::High)));
+    EXPECT_TRUE(awc.trigger(makeWarp(&code, AssistPriority::High)));
+    EXPECT_FALSE(awc.trigger(makeWarp(&code, AssistPriority::High)));
+    EXPECT_EQ(awc.stats().get("awt_full_rejections"), 1u);
+}
+
+TEST(Awc, AwbStagesOnlyTwoLowPriorityWarps)
+{
+    CabaConfig cfg;
+    cfg.awb_low_slots = 2;
+    cfg.throttle = false;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    for (int i = 0; i < 4; ++i)
+        awc.trigger(makeWarp(&code, AssistPriority::Low));
+    int eligible = 0;
+    for (const AssistWarp &aw : awc.table())
+        eligible += awc.eligible(aw);
+    EXPECT_EQ(eligible, 2);
+}
+
+TEST(Awc, HighPriorityAlwaysEligible)
+{
+    CabaConfig cfg;
+    cfg.throttle = true;
+    cfg.throttle_idle_floor = 0.5;
+    AssistWarpController awc(cfg);
+    // Saturate the window with used slots: idle fraction 0.
+    for (int i = 0; i < cfg.throttle_window; ++i)
+        awc.noteIssueSlot(true);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    awc.trigger(makeWarp(&code, AssistPriority::High));
+    awc.trigger(makeWarp(&code, AssistPriority::Low));
+    EXPECT_TRUE(awc.eligible(awc.table()[0]));
+    EXPECT_FALSE(awc.eligible(awc.table()[1]));     // throttled
+}
+
+TEST(Awc, ThrottleReleasesWhenIdle)
+{
+    CabaConfig cfg;
+    cfg.throttle_idle_floor = 0.25;
+    AssistWarpController awc(cfg);
+    for (int i = 0; i < cfg.throttle_window; ++i)
+        awc.noteIssueSlot(i % 2 == 0);  // 50% idle
+    EXPECT_NEAR(awc.idleFraction(), 0.5, 0.01);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    awc.trigger(makeWarp(&code, AssistPriority::Low));
+    EXPECT_TRUE(awc.eligible(awc.table()[0]));
+}
+
+TEST(Awc, KillByTokenFlushesEntries)
+{
+    CabaConfig cfg;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    awc.trigger(makeWarp(&code, AssistPriority::High, 7));
+    awc.trigger(makeWarp(&code, AssistPriority::High, 9));
+    awc.trigger(makeWarp(&code, AssistPriority::High, 7));
+    // Purpose must match as well as the token.
+    EXPECT_EQ(awc.killByToken(7, AssistPurpose::Compress), 0);
+    EXPECT_EQ(awc.killByToken(7, AssistPurpose::DecompressFill), 2);
+    ASSERT_EQ(awc.table().size(), 1u);
+    EXPECT_EQ(awc.table()[0].token, 9u);
+}
+
+TEST(Awc, IdleWindowIsSliding)
+{
+    CabaConfig cfg;
+    cfg.throttle_window = 8;
+    AssistWarpController awc(cfg);
+    for (int i = 0; i < 8; ++i)
+        awc.noteIssueSlot(false);
+    EXPECT_NEAR(awc.idleFraction(), 1.0, 1e-9);
+    for (int i = 0; i < 8; ++i)
+        awc.noteIssueSlot(true);
+    EXPECT_NEAR(awc.idleFraction(), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace caba

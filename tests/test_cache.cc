@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model, including the
+ * compressed-cache variant of Section 6.5 (tag_factor > 1: more tags,
+ * same per-set byte budget).
+ */
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/md_cache.h"
+
+namespace caba {
+namespace {
+
+Addr
+lineN(int set, int n, int num_sets)
+{
+    return (static_cast<Addr>(n) * num_sets + set) * kLineSize;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c({16 * 1024, 4, 1});
+    EXPECT_FALSE(c.access(0));
+    std::vector<Eviction> ev;
+    c.insert(0, kLineSize, false, &ev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_TRUE(c.access(0));
+    EXPECT_EQ(c.stats().get("hits"), 1u);
+    EXPECT_EQ(c.stats().get("misses"), 1u);
+}
+
+TEST(Cache, ContainsDoesNotCount)
+{
+    Cache c({16 * 1024, 4, 1});
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.stats().get("misses"), 0u);
+    std::vector<Eviction> ev;
+    c.insert(0, kLineSize, false, &ev);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_EQ(c.stats().get("hits"), 0u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache c({16 * 1024, 4, 1});
+    const int sets = c.numSets();
+    std::vector<Eviction> ev;
+    for (int n = 0; n < 4; ++n)
+        c.insert(lineN(0, n, sets), kLineSize, false, &ev);
+    EXPECT_TRUE(ev.empty());
+    // Touch line 0 so line 1 becomes LRU.
+    EXPECT_TRUE(c.access(lineN(0, 0, sets)));
+    c.insert(lineN(0, 4, sets), kLineSize, false, &ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].line, lineN(0, 1, sets));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache c({16 * 1024, 4, 1});
+    const int sets = c.numSets();
+    std::vector<Eviction> ev;
+    c.insert(lineN(0, 0, sets), kLineSize, true, &ev);
+    for (int n = 1; n <= 4; ++n)
+        c.insert(lineN(0, n, sets), kLineSize, false, &ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(ev[0].dirty);
+    EXPECT_EQ(c.stats().get("dirty_evictions"), 1u);
+}
+
+TEST(Cache, SetDirtyAndInvalidate)
+{
+    Cache c({16 * 1024, 4, 1});
+    std::vector<Eviction> ev;
+    c.insert(0, kLineSize, false, &ev);
+    EXPECT_TRUE(c.setDirty(0));
+    Eviction out;
+    EXPECT_TRUE(c.invalidate(0, &out));
+    EXPECT_TRUE(out.dirty);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.invalidate(0));
+    EXPECT_FALSE(c.setDirty(0));
+}
+
+TEST(Cache, ConventionalChargesFullSlotRegardlessOfSize)
+{
+    Cache c({16 * 1024, 4, 1});
+    std::vector<Eviction> ev;
+    c.insert(0, 10, false, &ev);    // tiny compressed line
+    EXPECT_EQ(c.occupiedBytes(), kLineSize);
+}
+
+TEST(CompressedCache, DoubleTagsHoldMoreCompressedLines)
+{
+    // 2x tags: 8 tags per set, byte budget 4 * kLineSize. Half-size
+    // lines -> 8 fit.
+    Cache c({16 * 1024, 4, 2});
+    EXPECT_EQ(c.tagsPerSet(), 8);
+    const int sets = c.numSets();
+    std::vector<Eviction> ev;
+    for (int n = 0; n < 8; ++n)
+        c.insert(lineN(0, n, sets), kLineSize / 2, false, &ev);
+    EXPECT_TRUE(ev.empty());
+    for (int n = 0; n < 8; ++n)
+        EXPECT_TRUE(c.contains(lineN(0, n, sets)));
+}
+
+TEST(CompressedCache, ByteBudgetStillEvicts)
+{
+    Cache c({16 * 1024, 4, 2});
+    const int sets = c.numSets();
+    std::vector<Eviction> ev;
+    // Full-size lines: only 4 fit despite 8 tags.
+    for (int n = 0; n < 5; ++n)
+        c.insert(lineN(0, n, sets), kLineSize, false, &ev);
+    EXPECT_EQ(ev.size(), 1u);
+    EXPECT_LE(c.occupiedBytes(), c.setBudgetBytes() * c.numSets());
+}
+
+TEST(CompressedCache, MixedSizesPackTightly)
+{
+    Cache c({16 * 1024, 4, 4});
+    const int sets = c.numSets();
+    std::vector<Eviction> ev;
+    // 16 tags, budget 4*kLineSize: sixteen quarter-size lines fit.
+    for (int n = 0; n < 16; ++n)
+        c.insert(lineN(0, n, sets), kLineSize / 4, false, &ev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_EQ(c.residentLines(), 16);
+}
+
+TEST(Cache, ReinsertUpdatesSizeInPlace)
+{
+    Cache c({16 * 1024, 4, 2});
+    std::vector<Eviction> ev;
+    c.insert(0, kLineSize, false, &ev);
+    c.insert(0, 16, true, &ev);     // recompressed smaller, now dirty
+    EXPECT_TRUE(ev.empty());
+    EXPECT_EQ(c.residentLines(), 1);
+    EXPECT_EQ(c.occupiedBytes(), 16);
+    Eviction out;
+    c.invalidate(0, &out);
+    EXPECT_TRUE(out.dirty);
+}
+
+TEST(MdCache, SpatialLocalityAcrossCoveredRegion)
+{
+    MdCache md(8 * 1024, 4, 256);
+    // First access to a 16KB region misses, subsequent ones hit.
+    EXPECT_FALSE(md.access(0));
+    for (int i = 1; i < 256; ++i)
+        EXPECT_TRUE(md.access(static_cast<Addr>(i) * kLineSize));
+    EXPECT_GT(md.hitRate(), 0.99);
+}
+
+TEST(MdCache, CapacityBoundsHitRate)
+{
+    MdCache md(2 * 1024, 4, 256);
+    // Touch far more regions than the cache covers, twice: round two
+    // still misses because round one evicted everything.
+    const int regions = 4096;
+    for (int round = 0; round < 2; ++round) {
+        for (int r = 0; r < regions; ++r)
+            md.access(static_cast<Addr>(r) * 256 * kLineSize);
+    }
+    EXPECT_LT(md.hitRate(), 0.1);
+}
+
+} // namespace
+} // namespace caba

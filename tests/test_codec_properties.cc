@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Deeper codec property tests: exact size formulas per BDI encoding,
+ * FPC bit accounting against a reference count, C-Pack dictionary
+ * determinism, idempotence, and cross-algorithm differential checks on
+ * randomized structured data.
+ */
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+#include "compress/registry.h"
+
+namespace caba {
+namespace {
+
+/** Builds a line encodable with exactly @p enc (base + tiny deltas). */
+void
+makeBdiLine(BdiEncoding enc, std::uint8_t *line, Rng &rng)
+{
+    const int word = bdiWordSize(enc);
+    const std::uint64_t base =
+        (rng.next() | 0x100) &
+        (word == 8 ? ~0ull : ((1ull << (8 * word)) - 1));
+    for (int i = 0; i < kLineSize / word; ++i)
+        storeLe(line + i * word, word, base + (rng.next() & 0x7));
+}
+
+TEST(BdiProperties, SizeFormulaPerEncoding)
+{
+    BdiCodec codec;
+    Rng rng(21);
+    std::uint8_t line[kLineSize];
+    const BdiEncoding encs[] = {BdiEncoding::B8D1, BdiEncoding::B8D2,
+                                BdiEncoding::B8D4, BdiEncoding::B4D1,
+                                BdiEncoding::B4D2, BdiEncoding::B2D1};
+    for (BdiEncoding enc : encs) {
+        makeBdiLine(enc, line, rng);
+        CompressedLine cl;
+        ASSERT_TRUE(codec.tryEncode(line, enc, &cl));
+        const int n = kLineSize / bdiWordSize(enc);
+        // metadata byte + base-select mask + base + n deltas.
+        EXPECT_EQ(cl.size(),
+                  1 + n / 8 + bdiWordSize(enc) + n * bdiDeltaSize(enc));
+    }
+}
+
+TEST(BdiProperties, SmallerDeltaEncodingPreferredWhenBothApply)
+{
+    // A line encodable as B8D1 must not come back as B8D4.
+    BdiCodec codec;
+    Rng rng(22);
+    std::uint8_t line[kLineSize];
+    for (int trial = 0; trial < 50; ++trial) {
+        makeBdiLine(BdiEncoding::B8D1, line, rng);
+        const CompressedLine cl = codec.compress(line);
+        CompressedLine direct;
+        ASSERT_TRUE(codec.tryEncode(line, BdiEncoding::B8D1, &direct));
+        EXPECT_LE(cl.size(), direct.size());
+    }
+}
+
+TEST(BdiProperties, CompressionIsIdempotentOnRoundTrips)
+{
+    BdiCodec codec;
+    Rng rng(23);
+    std::uint8_t line[kLineSize], out[kLineSize];
+    for (int trial = 0; trial < 100; ++trial) {
+        makeBdiLine(BdiEncoding::B4D2, line, rng);
+        const CompressedLine a = codec.compress(line);
+        codec.decompress(a, out);
+        const CompressedLine b = codec.compress(out);
+        EXPECT_EQ(a.encoding, b.encoding);
+        EXPECT_EQ(a.bytes, b.bytes);
+    }
+}
+
+/** Reference FPC bit count for one line (mirrors the TR's table). */
+int
+fpcReferenceBits(const std::uint8_t *line)
+{
+    int bits = 0;
+    int i = 0;
+    while (i < kLineSize / 4) {
+        const auto w = static_cast<std::uint32_t>(loadLe(line + i * 4, 4));
+        if (w == 0) {
+            int run = 1;
+            while (i + run < kLineSize / 4 && run < 8 &&
+                   loadLe(line + (i + run) * 4, 4) == 0)
+                ++run;
+            bits += 6;
+            i += run;
+            continue;
+        }
+        const auto s = static_cast<std::int32_t>(w);
+        if (s >= -8 && s < 8) bits += 3 + 4;
+        else if (s >= -128 && s < 128) bits += 3 + 8;
+        else if (s >= -32768 && s < 32768) bits += 3 + 16;
+        else if ((w & 0xFFFF) == 0) bits += 3 + 16;
+        else {
+            const auto lo = static_cast<std::int16_t>(w & 0xFFFF);
+            const auto hi = static_cast<std::int16_t>(w >> 16);
+            if (lo >= -128 && lo < 128 && hi >= -128 && hi < 128)
+                bits += 3 + 16;
+            else if (w == (w & 0xFF) * 0x01010101u)
+                bits += 3 + 8;
+            else
+                bits += 3 + 32;
+        }
+        ++i;
+    }
+    return bits;
+}
+
+TEST(FpcProperties, SizeMatchesReferenceBitCount)
+{
+    FpcCodec codec;
+    Rng rng(31);
+    std::uint8_t line[kLineSize];
+    for (int trial = 0; trial < 300; ++trial) {
+        for (int i = 0; i < kLineSize / 4; ++i) {
+            // Structured mix: zeros, small, halfword, raw.
+            const std::uint64_t roll = rng.next();
+            std::uint32_t w;
+            switch (roll & 3) {
+              case 0: w = 0; break;
+              case 1: w = static_cast<std::uint32_t>(roll >> 32) & 0x7F;
+                      break;
+              case 2: w = (static_cast<std::uint32_t>(roll >> 32) & 0xFFFF)
+                          << 16;
+                      break;
+              default: w = static_cast<std::uint32_t>(roll >> 32); break;
+            }
+            storeLe(line + i * 4, 4, w);
+        }
+        const CompressedLine cl = codec.compress(line);
+        const int expect_bytes =
+            1 + (fpcReferenceBits(line) + 7) / 8;
+        if (expect_bytes < kLineSize) {
+            EXPECT_EQ(cl.size(), expect_bytes);
+        } else {
+            EXPECT_TRUE(cl.isUncompressed());
+        }
+    }
+}
+
+TEST(CPackProperties, DictionaryIsDeterministicAcrossRoundTrips)
+{
+    CpackCodec codec;
+    Rng rng(41);
+    std::uint8_t line[kLineSize], out[kLineSize];
+    for (int trial = 0; trial < 300; ++trial) {
+        for (int i = 0; i < kLineSize / 4; ++i) {
+            const std::uint64_t roll = rng.next();
+            // Words drawn from a small pool: dictionary-heavy.
+            const std::uint32_t w = static_cast<std::uint32_t>(
+                0xABCD0000u + ((roll & 7) << 8) + ((roll >> 8) & 3));
+            storeLe(line + i * 4, 4, w);
+        }
+        const CompressedLine cl = codec.compress(line);
+        codec.decompress(cl, out);
+        ASSERT_EQ(std::memcmp(line, out, kLineSize), 0);
+        // Re-compressing the round-tripped line is byte-identical.
+        const CompressedLine again = codec.compress(out);
+        EXPECT_EQ(cl.bytes, again.bytes);
+    }
+}
+
+TEST(CodecDifferential, AllAlgorithmsAgreeOnContent)
+{
+    // Different algorithms, same functional contract: whatever one
+    // compresses, it must restore exactly; sizes are algorithm-specific
+    // but contents are not.
+    Rng rng(51);
+    std::uint8_t line[kLineSize];
+    std::uint8_t out_a[kLineSize], out_b[kLineSize];
+    for (int trial = 0; trial < 200; ++trial) {
+        for (int i = 0; i < kLineSize / 4; ++i) {
+            const std::uint64_t roll = rng.next();
+            storeLe(line + i * 4, 4,
+                    (roll & 1) ? static_cast<std::uint32_t>(roll >> 32)
+                               : static_cast<std::uint32_t>(roll & 0xFF));
+        }
+        const Codec &a = getCodec(Algorithm::Bdi);
+        const Codec &b = getCodec(Algorithm::CPack);
+        a.decompress(a.compress(line), out_a);
+        b.decompress(b.compress(line), out_b);
+        ASSERT_EQ(std::memcmp(out_a, out_b, kLineSize), 0);
+        ASSERT_EQ(std::memcmp(out_a, line, kLineSize), 0);
+    }
+}
+
+TEST(CodecProperties, CompressedSizeNeverExceedsLine)
+{
+    Rng rng(61);
+    std::uint8_t line[kLineSize];
+    for (Algorithm algo : {Algorithm::Bdi, Algorithm::Fpc,
+                           Algorithm::CPack, Algorithm::BestOfAll}) {
+        for (int trial = 0; trial < 100; ++trial) {
+            for (int i = 0; i < kLineSize / 8; ++i)
+                storeLe(line + i * 8, 8, rng.next());
+            const CompressedLine cl = getCodec(algo).compress(line);
+            EXPECT_LE(cl.size(), kLineSize);
+            EXPECT_GE(cl.bursts(), 1);
+            EXPECT_LE(cl.bursts(), kBurstsPerLine);
+        }
+    }
+}
+
+} // namespace
+} // namespace caba

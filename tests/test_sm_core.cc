@@ -1,0 +1,226 @@
+/**
+ * @file
+ * SM-core behaviour tests on a single-SM GPU with controlled kernels:
+ * scoreboard stalls, SFU structural behaviour, cycle classification
+ * (Figure 1 categories), L1 locality, and assist-warp scheduling
+ * integration.
+ */
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.h"
+#include "workloads/workload.h"
+
+namespace caba {
+namespace {
+
+/** Tiny single-kernel workload harness around a custom descriptor. */
+RunResult
+runTiny(const AppDescriptor &app, const DesignConfig &design,
+        int num_sms = 1, int warps = 8)
+{
+    GpuConfig cfg;
+    cfg.num_sms = num_sms;
+    cfg.verify_data = true;
+    Workload wl(app);
+    wl.bindGrid(warps * num_sms);
+    GpuSystem gpu(cfg, design, wl.lineGenerator());
+    gpu.launch(&wl, warps);
+    return gpu.run();
+}
+
+AppDescriptor
+baseApp()
+{
+    AppDescriptor app = findApp("CONS");
+    app.iterations = 10;
+    app.footprint = 4ull << 20;
+    return app;
+}
+
+TEST(SmCore, ExecutesExactInstructionCount)
+{
+    AppDescriptor app = baseApp();
+    const RunResult r = runTiny(app, DesignConfig::base(), 1, 8);
+    Workload wl(app);
+    // Every instruction but Exit executes once per trip (the loop body
+    // plus its back-edge); Exit issues once per warp.
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(wl.program().size() - 1) *
+            app.iterations + 1;
+    EXPECT_EQ(r.instructions, 8 * expect);
+}
+
+TEST(SmCore, SfuHeavyKernelShowsComputeOrDataStalls)
+{
+    AppDescriptor app = baseApp();
+    app.loads = 1;
+    app.stores = 0;
+    app.alu = 2;
+    app.sfu = 6;
+    const RunResult r = runTiny(app, DesignConfig::base(), 1, 16);
+    const double frac =
+        static_cast<double>(r.breakdown.comp_stall +
+                            r.breakdown.data_stall) /
+        static_cast<double>(r.breakdown.total());
+    EXPECT_GT(frac, 0.3);
+}
+
+TEST(SmCore, MemoryHeavyKernelShowsMemoryStalls)
+{
+    AppDescriptor app = baseApp();
+    app.loads = 4;
+    app.alu = 1;
+    const RunResult r = runTiny(app, DesignConfig::base(), 4, 32);
+    const double frac = static_cast<double>(r.breakdown.mem_stall) /
+                        static_cast<double>(r.breakdown.total());
+    EXPECT_GT(frac, 0.35);
+}
+
+TEST(SmCore, SmallFootprintHitsInL1)
+{
+    AppDescriptor app = baseApp();
+    // 4KB per stream x 3 load streams = 96 lines, under the 128-line
+    // L1 (a larger sweep would LRU-thrash and never hit).
+    app.footprint = 4 * 1024;
+    app.iterations = 20;
+    const RunResult r = runTiny(app, DesignConfig::base(), 1, 8);
+    EXPECT_GT(r.stats.get("l1_hits"), r.stats.get("l1_misses"));
+}
+
+TEST(SmCore, L1IsWriteEvict)
+{
+    AppDescriptor app = baseApp();
+    app.stores = 1;
+    const RunResult r = runTiny(app, DesignConfig::base(), 1, 8);
+    // Stores never allocate in L1; loads alone populate it.
+    EXPECT_GT(r.stats.get("sm_stores_sent_uncompressed"), 0u);
+}
+
+TEST(SmCore, CabaDecompressionBlocksUntilDone)
+{
+    AppDescriptor app = baseApp();
+    app.data = {DataProfile::Pointer, DataProfile::Pointer, 0.0, 0.2};
+    const RunResult r = runTiny(app, DesignConfig::caba(), 2, 16);
+    EXPECT_GT(r.stats.get("sm_caba_decompressions"), 0u);
+    // Every compressed fill went through an assist warp.
+    EXPECT_EQ(r.stats.get("sm_caba_decompressions"),
+              r.stats.get("sm_fills_compressed"));
+}
+
+TEST(SmCore, AssistInstructionsRespectPipelinePorts)
+{
+    AppDescriptor app = baseApp();
+    const RunResult r = runTiny(app, DesignConfig::caba(), 2, 16);
+    // Assist instruction count equals the sum of its ALU and MEM parts.
+    EXPECT_EQ(r.stats.get("sm_assist_instructions"),
+              r.stats.get("sm_assist_alu_issued") +
+                  r.stats.get("sm_assist_mem_issued"));
+}
+
+TEST(SmCore, StoresAreCompressedThroughTheBuffer)
+{
+    AppDescriptor app = baseApp();
+    app.stores = 1;
+    app.data = {DataProfile::SmallInt, DataProfile::SmallInt, 0.0, 0.2};
+    const RunResult r = runTiny(app, DesignConfig::caba(), 2, 16);
+    EXPECT_GT(r.stats.get("sm_stores_sent_compressed"), 0u);
+    EXPECT_EQ(r.stats.get("sm_caba_compressions"),
+              r.stats.get("sm_stores_sent_compressed"));
+}
+
+TEST(SmCore, CompressedL1TriggersHitDecompression)
+{
+    AppDescriptor app = baseApp();
+    app.footprint = 4 * 1024;   // small enough to produce L1 hits
+    app.iterations = 20;
+    app.data = {DataProfile::Pointer, DataProfile::Pointer, 0.0, 0.2};
+    const RunResult r =
+        runTiny(app, DesignConfig::cabaCompressedCache(2, 1), 1, 8);
+    EXPECT_GT(r.stats.get("sm_caba_hit_decompressions"), 0u);
+}
+
+TEST(SmCore, MemoizationSkipsSfuWork)
+{
+    AppDescriptor app = baseApp();
+    app.sfu = 4;
+    GpuConfig cfg;
+    cfg.num_sms = 1;
+    cfg.extras.memoize = true;
+    cfg.extras.memo_hit_rate = 0.5;
+    Workload wl(app);
+    wl.bindGrid(8);
+    GpuSystem gpu(cfg, DesignConfig::base(), wl.lineGenerator());
+    gpu.launch(&wl, 8);
+    const RunResult r = gpu.run();
+    EXPECT_GT(r.stats.get("sm_memo_hits"), 0u);
+    EXPECT_LT(r.stats.get("sm_memo_hits"), r.stats.get("sm_issued_sfu"));
+}
+
+TEST(SmCore, PrefetchingPopulatesL1)
+{
+    AppDescriptor app = baseApp();
+    app.iterations = 30;
+    GpuConfig cfg;
+    cfg.num_sms = 1;
+    cfg.extras.prefetch = true;
+    Workload wl(app);
+    wl.bindGrid(8);
+    GpuSystem gpu(cfg, DesignConfig::base(), wl.lineGenerator());
+    gpu.launch(&wl, 8);
+    const RunResult r = gpu.run();
+    EXPECT_GT(r.stats.get("sm_prefetches_issued"), 0u);
+}
+
+TEST(SmCore, LrrSchedulerAlsoCompletes)
+{
+    AppDescriptor app = baseApp();
+    GpuConfig cfg;
+    cfg.num_sms = 1;
+    cfg.sm.gto = false;     // loose round-robin
+    Workload wl(app);
+    wl.bindGrid(8);
+    GpuSystem gpu(cfg, DesignConfig::base(), wl.lineGenerator());
+    gpu.launch(&wl, 8);
+    const RunResult r = gpu.run();
+    Workload ref(app);
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(ref.program().size() - 1) *
+            app.iterations + 1;
+    EXPECT_EQ(r.instructions, 8 * expect);
+}
+
+TEST(SmCore, StaleCompressionsAreKilled)
+{
+    // Rewrite the same tiny output region repeatedly: newer stores to a
+    // line whose compression is still pending must kill the stale
+    // assist warp (Section 3.4).
+    AppDescriptor app = baseApp();
+    app.stores = 2;
+    app.footprint = 2 * 1024;
+    app.iterations = 30;
+    app.data = {DataProfile::SmallInt, DataProfile::SmallInt, 0.0, 0.2};
+    const RunResult r = runTiny(app, DesignConfig::caba(), 1, 8);
+    EXPECT_GT(r.stats.get("sm_stale_compressions_killed"), 0u);
+    EXPECT_GT(r.stats.get("awc_kills"), 0u);
+}
+
+TEST(GpuSystem, DataIntegrityUnderAllDesigns)
+{
+    // verify_data = true makes the compression model panic on any
+    // round-trip mismatch; surviving a full run of every design over
+    // compressible data is the end-to-end integrity property.
+    AppDescriptor app = baseApp();
+    app.data = {DataProfile::Pointer, DataProfile::Text, 0.3, 0.1};
+    for (auto design :
+         {DesignConfig::hwMem(), DesignConfig::hw(), DesignConfig::caba(),
+          DesignConfig::ideal(),
+          DesignConfig::caba(Algorithm::Fpc),
+          DesignConfig::caba(Algorithm::CPack),
+          DesignConfig::caba(Algorithm::BestOfAll)}) {
+        const RunResult r = runTiny(app, design, 2, 16);
+        EXPECT_GT(r.cycles, 0u) << design.name;
+    }
+}
+
+} // namespace
+} // namespace caba
