@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memoization.dir/ablation_memoization.cc.o"
+  "CMakeFiles/ablation_memoization.dir/ablation_memoization.cc.o.d"
+  "ablation_memoization"
+  "ablation_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_throttling.dir/ablation_throttling.cc.o"
+  "CMakeFiles/ablation_throttling.dir/ablation_throttling.cc.o.d"
+  "ablation_throttling"
+  "ablation_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_microbench.dir/codec_microbench.cc.o"
+  "CMakeFiles/codec_microbench.dir/codec_microbench.cc.o.d"
+  "codec_microbench"
+  "codec_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_unallocated_regs.dir/fig02_unallocated_regs.cc.o"
+  "CMakeFiles/fig02_unallocated_regs.dir/fig02_unallocated_regs.cc.o.d"
+  "fig02_unallocated_regs"
+  "fig02_unallocated_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_unallocated_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

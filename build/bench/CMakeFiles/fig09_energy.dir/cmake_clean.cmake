@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_energy.dir/fig09_energy.cc.o"
+  "CMakeFiles/fig09_energy.dir/fig09_energy.cc.o.d"
+  "fig09_energy"
+  "fig09_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_algorithms.dir/fig10_algorithms.cc.o"
+  "CMakeFiles/fig10_algorithms.dir/fig10_algorithms.cc.o.d"
+  "fig10_algorithms"
+  "fig10_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

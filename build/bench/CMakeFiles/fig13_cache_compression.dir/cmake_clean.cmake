@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cache_compression.dir/fig13_cache_compression.cc.o"
+  "CMakeFiles/fig13_cache_compression.dir/fig13_cache_compression.cc.o.d"
+  "fig13_cache_compression"
+  "fig13_cache_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cache_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

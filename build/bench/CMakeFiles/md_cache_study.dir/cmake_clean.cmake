@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_cache_study.dir/md_cache_study.cc.o"
+  "CMakeFiles/md_cache_study.dir/md_cache_study.cc.o.d"
+  "md_cache_study"
+  "md_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

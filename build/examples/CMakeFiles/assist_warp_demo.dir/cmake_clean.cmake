@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assist_warp_demo.dir/assist_warp_demo.cpp.o"
+  "CMakeFiles/assist_warp_demo.dir/assist_warp_demo.cpp.o.d"
+  "assist_warp_demo"
+  "assist_warp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assist_warp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for assist_warp_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_cli.dir/caba_sim.cpp.o"
+  "CMakeFiles/caba_cli.dir/caba_sim.cpp.o.d"
+  "caba_cli"
+  "caba_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

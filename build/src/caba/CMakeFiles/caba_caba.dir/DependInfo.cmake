@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caba/awc.cc" "src/caba/CMakeFiles/caba_caba.dir/awc.cc.o" "gcc" "src/caba/CMakeFiles/caba_caba.dir/awc.cc.o.d"
+  "/root/repo/src/caba/aws.cc" "src/caba/CMakeFiles/caba_caba.dir/aws.cc.o" "gcc" "src/caba/CMakeFiles/caba_caba.dir/aws.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/caba_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

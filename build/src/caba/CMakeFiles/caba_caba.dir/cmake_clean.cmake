@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_caba.dir/awc.cc.o"
+  "CMakeFiles/caba_caba.dir/awc.cc.o.d"
+  "CMakeFiles/caba_caba.dir/aws.cc.o"
+  "CMakeFiles/caba_caba.dir/aws.cc.o.d"
+  "libcaba_caba.a"
+  "libcaba_caba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_caba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for caba_caba.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_common.dir/table.cc.o"
+  "CMakeFiles/caba_common.dir/table.cc.o.d"
+  "libcaba_common.a"
+  "libcaba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_compress.dir/bdi.cc.o"
+  "CMakeFiles/caba_compress.dir/bdi.cc.o.d"
+  "CMakeFiles/caba_compress.dir/cpack.cc.o"
+  "CMakeFiles/caba_compress.dir/cpack.cc.o.d"
+  "CMakeFiles/caba_compress.dir/fpc.cc.o"
+  "CMakeFiles/caba_compress.dir/fpc.cc.o.d"
+  "CMakeFiles/caba_compress.dir/registry.cc.o"
+  "CMakeFiles/caba_compress.dir/registry.cc.o.d"
+  "libcaba_compress.a"
+  "libcaba_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

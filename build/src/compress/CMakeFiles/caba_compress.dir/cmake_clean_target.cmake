@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcaba_compress.a"
+)

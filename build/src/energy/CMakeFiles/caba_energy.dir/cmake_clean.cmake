@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_energy.dir/energy_model.cc.o"
+  "CMakeFiles/caba_energy.dir/energy_model.cc.o.d"
+  "libcaba_energy.a"
+  "libcaba_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_gpu.dir/design.cc.o"
+  "CMakeFiles/caba_gpu.dir/design.cc.o.d"
+  "CMakeFiles/caba_gpu.dir/gpu_system.cc.o"
+  "CMakeFiles/caba_gpu.dir/gpu_system.cc.o.d"
+  "libcaba_gpu.a"
+  "libcaba_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_harness.dir/runner.cc.o"
+  "CMakeFiles/caba_harness.dir/runner.cc.o.d"
+  "CMakeFiles/caba_harness.dir/sweep.cc.o"
+  "CMakeFiles/caba_harness.dir/sweep.cc.o.d"
+  "libcaba_harness.a"
+  "libcaba_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_isa.dir/instruction.cc.o"
+  "CMakeFiles/caba_isa.dir/instruction.cc.o.d"
+  "libcaba_isa.a"
+  "libcaba_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

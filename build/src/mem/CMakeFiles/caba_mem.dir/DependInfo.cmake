@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cc" "src/mem/CMakeFiles/caba_mem.dir/backing_store.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/backing_store.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/caba_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/compression_model.cc" "src/mem/CMakeFiles/caba_mem.dir/compression_model.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/compression_model.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/caba_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/partition.cc" "src/mem/CMakeFiles/caba_mem.dir/partition.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/partition.cc.o.d"
+  "/root/repo/src/mem/xbar.cc" "src/mem/CMakeFiles/caba_mem.dir/xbar.cc.o" "gcc" "src/mem/CMakeFiles/caba_mem.dir/xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/caba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/caba_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_mem.dir/backing_store.cc.o"
+  "CMakeFiles/caba_mem.dir/backing_store.cc.o.d"
+  "CMakeFiles/caba_mem.dir/cache.cc.o"
+  "CMakeFiles/caba_mem.dir/cache.cc.o.d"
+  "CMakeFiles/caba_mem.dir/compression_model.cc.o"
+  "CMakeFiles/caba_mem.dir/compression_model.cc.o.d"
+  "CMakeFiles/caba_mem.dir/dram.cc.o"
+  "CMakeFiles/caba_mem.dir/dram.cc.o.d"
+  "CMakeFiles/caba_mem.dir/partition.cc.o"
+  "CMakeFiles/caba_mem.dir/partition.cc.o.d"
+  "CMakeFiles/caba_mem.dir/xbar.cc.o"
+  "CMakeFiles/caba_mem.dir/xbar.cc.o.d"
+  "libcaba_mem.a"
+  "libcaba_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_sim.dir/sm_core.cc.o"
+  "CMakeFiles/caba_sim.dir/sm_core.cc.o.d"
+  "libcaba_sim.a"
+  "libcaba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caba_workloads.dir/apps.cc.o"
+  "CMakeFiles/caba_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/caba_workloads.dir/data_profile.cc.o"
+  "CMakeFiles/caba_workloads.dir/data_profile.cc.o.d"
+  "CMakeFiles/caba_workloads.dir/occupancy.cc.o"
+  "CMakeFiles/caba_workloads.dir/occupancy.cc.o.d"
+  "CMakeFiles/caba_workloads.dir/workload.cc.o"
+  "CMakeFiles/caba_workloads.dir/workload.cc.o.d"
+  "libcaba_workloads.a"
+  "libcaba_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caba_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

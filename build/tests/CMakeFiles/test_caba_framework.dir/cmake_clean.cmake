@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caba_framework.dir/test_caba_framework.cc.o"
+  "CMakeFiles/test_caba_framework.dir/test_caba_framework.cc.o.d"
+  "test_caba_framework"
+  "test_caba_framework.pdb"
+  "test_caba_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caba_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/test_cache.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/caba_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/caba_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/caba_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/caba/CMakeFiles/caba_caba.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/caba_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/caba_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/caba_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/caba_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/caba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

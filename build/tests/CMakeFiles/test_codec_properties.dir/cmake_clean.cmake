@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_properties.dir/test_codec_properties.cc.o"
+  "CMakeFiles/test_codec_properties.dir/test_codec_properties.cc.o.d"
+  "test_codec_properties"
+  "test_codec_properties.pdb"
+  "test_codec_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

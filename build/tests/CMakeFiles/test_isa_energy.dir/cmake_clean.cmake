@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_energy.dir/test_isa_energy.cc.o"
+  "CMakeFiles/test_isa_energy.dir/test_isa_energy.cc.o.d"
+  "test_isa_energy"
+  "test_isa_energy.pdb"
+  "test_isa_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

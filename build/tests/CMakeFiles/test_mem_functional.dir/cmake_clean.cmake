@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_functional.dir/test_mem_functional.cc.o"
+  "CMakeFiles/test_mem_functional.dir/test_mem_functional.cc.o.d"
+  "test_mem_functional"
+  "test_mem_functional.pdb"
+  "test_mem_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar.dir/test_xbar.cc.o"
+  "CMakeFiles/test_xbar.dir/test_xbar.cc.o.d"
+  "test_xbar"
+  "test_xbar.pdb"
+  "test_xbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitops[1]_include.cmake")
+include("/root/repo/build/tests/test_codecs[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_xbar[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_caba_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_isa_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_sm_core[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_codec_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_system[1]_include.cmake")
