@@ -2,13 +2,16 @@
  * @file
  * Error-reporting helpers in the spirit of gem5's logging.hh: panic() for
  * simulator bugs (aborts), fatal() for user/configuration errors (exits),
- * and a checked assertion macro that prints context before aborting.
+ * a checked assertion macro that prints context before aborting, and a
+ * thread-safe single-line progress reporter for long sweeps.
  */
 #ifndef CABA_COMMON_LOG_H
 #define CABA_COMMON_LOG_H
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string>
 
 namespace caba {
 
@@ -27,6 +30,53 @@ fatal(const char *file, int line, const char *msg)
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
     std::exit(1);
 }
+
+/**
+ * Serialized \r-rewriting progress line on stderr. tick() may be called
+ * from any thread; the counter and the write are guarded by one mutex so
+ * concurrent workers never interleave partial lines. The destructor
+ * blanks the line, matching the old serial sweep behaviour.
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(std::string label, int total)
+        : label_(std::move(label)), total_(total)
+    {}
+
+    ~ProgressReporter()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::fprintf(stderr, "%64s\r", "");
+        std::fflush(stderr);
+    }
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** Marks one unit done; @p what names the unit (e.g. "app x design"). */
+    void
+    tick(const std::string &what)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+        std::fprintf(stderr, "  [%s] %3d/%-3d %-32s\r", label_.c_str(),
+                     done_, total_, what.c_str());
+        std::fflush(stderr);
+    }
+
+    int done() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return done_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::string label_;
+    int total_;
+    int done_ = 0;
+};
 
 } // namespace caba
 

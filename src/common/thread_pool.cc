@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include "common/log.h"
+
+namespace caba {
+
+ThreadPool::ThreadPool(int workers)
+{
+    CABA_CHECK(workers >= 1, "thread pool needs at least one worker");
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    job_ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        CABA_CHECK(!stopping_, "submit on a stopping thread pool");
+        queue_.push_back(std::move(job));
+        ++pending_;
+    }
+    job_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            job_ready_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--pending_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(int n, int jobs, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(jobs < n ? jobs : n);
+    for (int i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace caba

@@ -11,11 +11,17 @@ namespace caba {
 double
 scaleFromEnv(double fallback)
 {
-    const char *env = std::getenv("CABA_SCALE");
-    if (!env)
-        return fallback;
-    const double v = std::atof(env);
-    return v > 0.0 ? v : fallback;
+    // Cached on first use (thread-safe magic static): runApp executes on
+    // sweep worker threads, and getenv is not guaranteed safe against
+    // concurrent environment mutation.
+    static const double env_scale = [] {
+        const char *env = std::getenv("CABA_SCALE");
+        if (!env)
+            return 0.0;
+        const double v = std::atof(env);
+        return v > 0.0 ? v : 0.0;
+    }();
+    return env_scale > 0.0 ? env_scale : fallback;
 }
 
 GpuConfig

@@ -41,9 +41,19 @@ struct ExperimentOptions
 
     /** MD cache capacity in KB (Section 4.3.2 study). */
     int md_cache_kb = 8;
+
+    /**
+     * Sweep worker threads: 0 = auto (CABA_JOBS env var, else
+     * hardware_concurrency), 1 = serial, N = exactly N workers.
+     */
+    int jobs = 0;
 };
 
-/** Reads CABA_SCALE from the environment (default @p fallback). */
+/**
+ * Reads CABA_SCALE from the environment (default @p fallback). The
+ * environment is consulted once per process and cached, keeping getenv
+ * out of the per-run hot path and off the sweep worker threads.
+ */
 double scaleFromEnv(double fallback = 1.0);
 
 /** Builds the Table 1 GpuConfig for @p opts (and @p design). */

@@ -1,10 +1,22 @@
 #include "harness/sweep.h"
 
-#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 
 namespace caba {
+
+int
+sweepJobsFromEnv(int fallback)
+{
+    const char *env = std::getenv("CABA_JOBS");
+    if (!env)
+        return fallback;
+    const int v = std::atoi(env);
+    return v > 0 ? v : fallback;
+}
 
 Sweep::Sweep(const std::vector<AppDescriptor> &apps,
              const std::vector<DesignConfig> &designs,
@@ -14,18 +26,45 @@ Sweep::Sweep(const std::vector<AppDescriptor> &apps,
 {
     for (const DesignConfig &d : designs)
         design_names_.push_back(d.name);
-    for (const AppDescriptor &app : apps) {
+    for (const AppDescriptor &app : apps)
         app_names_.push_back(app.name);
-        for (const DesignConfig &d : designs) {
-            const ExperimentOptions o = tweak ? tweak(d, opts) : opts;
-            std::fprintf(stderr, "  [sweep] %-6s x %-14s ...\r",
-                         app.name.c_str(), d.name.c_str());
-            std::fflush(stderr);
-            cells_.emplace(std::make_pair(app.name, d.name),
-                           runApp(app, d, o));
-        }
-    }
-    std::fprintf(stderr, "%48s\r", "");
+
+    // Materialize the cell list up front, applying the (caller-supplied,
+    // not necessarily thread-safe) tweak hook serially on this thread.
+    // Each cell is then a pure function of its own inputs: runApp builds
+    // a private Workload + GpuSystem, so cells can run in any order on
+    // any thread and still produce bit-identical results.
+    struct Cell
+    {
+        const AppDescriptor *app;
+        const DesignConfig *design;
+        ExperimentOptions opts;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(apps.size() * designs.size());
+    for (const AppDescriptor &app : apps)
+        for (const DesignConfig &d : designs)
+            cells.push_back({&app, &d, tweak ? tweak(d, opts) : opts});
+
+    const int jobs = opts.jobs > 0
+                         ? opts.jobs
+                         : sweepJobsFromEnv(ThreadPool::defaultWorkers());
+
+    std::vector<RunResult> results(cells.size());
+    ProgressReporter progress("sweep", static_cast<int>(cells.size()));
+    parallelFor(static_cast<int>(cells.size()), jobs, [&](int i) {
+        const Cell &c = cells[static_cast<std::size_t>(i)];
+        results[static_cast<std::size_t>(i)] =
+            runApp(*c.app, *c.design, c.opts);
+        progress.tick(c.app->name + " x " + c.design->name);
+    });
+
+    // Insert in the original serial (app-major) order so the resulting
+    // map is built identically regardless of worker count.
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        cells_.emplace(std::make_pair(cells[i].app->name,
+                                      cells[i].design->name),
+                       std::move(results[i]));
 }
 
 const RunResult &

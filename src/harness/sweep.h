@@ -3,6 +3,14 @@
  * App x design sweep driver shared by the figure benches: runs every
  * combination, keeps the results addressable by (app, design), and
  * provides the normalized-metric helpers the figures print.
+ *
+ * Cells are independent simulations, so the sweep fans them out across a
+ * ThreadPool of hardware_concurrency() workers by default. Worker count
+ * is overridable with ExperimentOptions::jobs or the CABA_JOBS env var;
+ * jobs == 1 runs cells serially on the calling thread (the old
+ * behaviour). Results are bit-identical at any worker count: each cell
+ * builds a private Workload + GpuSystem from explicitly seeded RNG state
+ * and results are committed in serial order after the fan-out.
  */
 #ifndef CABA_HARNESS_SWEEP_H
 #define CABA_HARNESS_SWEEP_H
@@ -15,6 +23,12 @@
 #include "harness/runner.h"
 
 namespace caba {
+
+/**
+ * Reads CABA_JOBS from the environment (default @p fallback; values < 1
+ * are ignored). Read once per sweep, not per cell.
+ */
+int sweepJobsFromEnv(int fallback);
 
 /** Results of a full sweep, addressable by (app name, design name). */
 class Sweep

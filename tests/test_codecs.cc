@@ -283,19 +283,16 @@ TEST(Codecs, DecompressCostScalesWithComplexity)
 TEST(Codecs, BurstsComputation)
 {
     // Section 4.3.2: a line moves in 1-4 GDDR5 bursts.
-    CompressedLine cl;
-    cl.bytes.assign(1, 0);
-    EXPECT_EQ(cl.bursts(), 1);
-    cl.bytes.assign(32, 0);
-    EXPECT_EQ(cl.bursts(), 1);
-    cl.bytes.assign(33, 0);
-    EXPECT_EQ(cl.bursts(), 2);
-    cl.bytes.assign(64, 0);
-    EXPECT_EQ(cl.bursts(), 2);
-    cl.bytes.assign(96, 0);
-    EXPECT_EQ(cl.bursts(), 3);
-    cl.bytes.assign(128, 0);
-    EXPECT_EQ(cl.bursts(), 4);
+    const struct
+    {
+        std::size_t size;
+        int bursts;
+    } cases[] = {{1, 1}, {32, 1}, {33, 2}, {64, 2}, {96, 3}, {128, 4}};
+    for (const auto &c : cases) {
+        CompressedLine cl;
+        cl.bytes.assign(c.size, 0);
+        EXPECT_EQ(cl.bursts(), c.bursts) << c.size << " bytes";
+    }
 }
 
 } // namespace
