@@ -9,13 +9,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/runner.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("ablation_memoization",
+                   jsonOutPath("ablation_memoization", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("CABA memoization (Section 7.1) on SFU-heavy apps\n\n");
@@ -31,6 +34,8 @@ main()
         o.extras.memoize = true;
         o.extras.memo_hit_rate = app.memo_hit_rate;
         const RunResult memo = runApp(app, DesignConfig::base(), o);
+        json.addCell(app.name, "Base", base);
+        json.addCell(app.name, "Base+memoize", memo);
 
         t.addRow({app.name, Table::pct(app.memo_hit_rate),
                   Table::num(static_cast<double>(base.cycles) /
@@ -42,5 +47,6 @@ main()
     std::printf("Compute-bound apps trade SFU pressure for on-chip "
                 "storage (the paper's\n\"convert computation into "
                 "storage\" argument).\n");
+    json.write();
     return 0;
 }

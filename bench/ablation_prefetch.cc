@@ -9,13 +9,16 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/runner.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("ablation_prefetch",
+                   jsonOutPath("ablation_prefetch", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("CABA stride prefetching (Section 7.2)\n\n");
@@ -30,6 +33,8 @@ main()
         o.extras.prefetch = true;
         o.extras.prefetch_lookahead = 4;
         const RunResult pf = runApp(app, DesignConfig::base(), o);
+        json.addCell(app.name, "Base", base);
+        json.addCell(app.name, "Base+prefetch", pf);
 
         auto l1_rate = [](const RunResult &r) {
             const double h = static_cast<double>(r.stats.get("l1_hits"));
@@ -47,5 +52,6 @@ main()
     std::printf("Prefetch warps use idle slots only (Section 7.2 point "
                 "3), so bandwidth-saturated\napps are protected by the "
                 "utilization throttle.\n");
+    json.write();
     return 0;
 }

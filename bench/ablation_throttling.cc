@@ -15,24 +15,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/runner.h"
 
 using namespace caba;
 
-namespace {
-
-double
-run(const AppDescriptor &app, const ExperimentOptions &o)
-{
-    return static_cast<double>(
-        runApp(app, DesignConfig::caba(), o).cycles);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("ablation_throttling",
+                   jsonOutPath("ablation_throttling", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("CABA design-choice ablations (cycles normalized to the "
@@ -45,32 +37,39 @@ main()
     Table t({"app", "paper-config", "dec low-prio", "comp high-prio",
              "awb=1", "awb=4", "no-throttle", "store-buf=4"});
     for (const AppDescriptor &app : apps) {
-        const double base = run(app, opts);
+        // Each variant becomes one JSON cell named after the knob it
+        // flips; the table shows cycles relative to the paper config.
+        auto run = [&](const char *variant, const ExperimentOptions &o) {
+            const RunResult r = runApp(app, DesignConfig::caba(), o);
+            json.addCell(app.name, variant, r);
+            return static_cast<double>(r.cycles);
+        };
+        const double base = run("paper-config", opts);
         std::vector<std::string> row = {app.name, "1.00"};
 
         ExperimentOptions o = opts;
         o.caba.decompress_high_priority = false;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("dec-low-prio", o) / base));
 
         o = opts;
         o.caba.compress_low_priority = false;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("comp-high-prio", o) / base));
 
         o = opts;
         o.caba.awb_low_slots = 1;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("awb-1", o) / base));
 
         o = opts;
         o.caba.awb_low_slots = 4;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("awb-4", o) / base));
 
         o = opts;
         o.caba.throttle = false;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("no-throttle", o) / base));
 
         o = opts;
         o.caba.store_buffer = 4;
-        row.push_back(Table::num(run(app, o) / base));
+        row.push_back(Table::num(run("store-buf-4", o) / base));
 
         t.addRow(row);
     }
@@ -79,5 +78,6 @@ main()
                 "fewer AWB slots or a\nsmaller store buffer leave more "
                 "stores uncompressed; throttling protects\nparent-warp "
                 "slots when pipelines are busy.\n");
+    json.write();
     return 0;
 }

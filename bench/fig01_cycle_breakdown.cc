@@ -12,13 +12,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/runner.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig01_cycle_breakdown",
+                   jsonOutPath("fig01_cycle_breakdown", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 1: issue-cycle breakdown on the Base design\n\n");
@@ -35,6 +38,10 @@ main()
             ExperimentOptions o = opts;
             o.bw_scale = bw_points[b];
             const RunResult r = runApp(app, DesignConfig::base(), o);
+            // Bake the bandwidth point into the cell's design name so
+            // the three runs per app stay distinguishable in the JSON.
+            json.addCell(app.name,
+                         "Base@" + Table::num(bw_points[b], 1) + "x", r);
             const double total =
                 static_cast<double>(r.breakdown.total());
             const double comp = r.breakdown.comp_stall / total;
@@ -62,5 +69,6 @@ main()
         std::printf("  %.1fx BW: %s\n", bw_points[b],
                     Table::pct((a.mem + a.data) / a.n).c_str());
     }
+    json.write();
     return 0;
 }

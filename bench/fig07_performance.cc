@@ -9,13 +9,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig07_performance",
+                   jsonOutPath("fig07_performance", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 7: normalized performance (speedup over Base)\n\n");
@@ -52,5 +55,7 @@ main()
                 Table::pct(1.0 - caba / geomean(cols[2])).c_str());
     std::printf("CABA-BDI vs HW-BDI-Mem: %s above (paper: ~9.9%%)\n",
                 Table::pct(caba / geomean(cols[1]) - 1.0).c_str());
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

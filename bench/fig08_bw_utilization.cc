@@ -8,13 +8,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig08_bw_utilization",
+                   jsonOutPath("fig08_bw_utilization", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 8: DRAM bandwidth utilization per design\n\n");
@@ -52,5 +55,7 @@ main()
     for (const std::string &app : sweep.appNames())
         md.push_back(sweep.at(app, "CABA-BDI").md_hit_rate);
     std::printf("  average %s\n", Table::pct(mean(md)).c_str());
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

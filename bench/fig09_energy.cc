@@ -10,13 +10,15 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig09_energy", jsonOutPath("fig09_energy", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 9: normalized energy (lower is better)\n\n");
@@ -69,5 +71,7 @@ main()
     const RunResult &pvc = sweep.at(sweep.appNames().front(), "Base");
     std::printf("%s\n",
                 Table::pct(pvc.energy.dram / pvc.energy.total).c_str());
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

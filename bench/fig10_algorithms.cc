@@ -9,13 +9,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig10_algorithms",
+                   jsonOutPath("fig10_algorithms", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 10: speedup with different algorithms (vs Base)\n\n");
@@ -56,5 +59,7 @@ main()
                 Table::pct(geomean(cols[3]) - 1.0).c_str());
     std::printf("  BestOfAll   %s\n",
                 Table::pct(geomean(cols[4]) - 1.0).c_str());
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

@@ -8,13 +8,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig12_bw_sensitivity",
+                   jsonOutPath("fig12_bw_sensitivity", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 12: bandwidth sensitivity "
@@ -71,5 +74,7 @@ main()
                 geomean(cols[3]), geomean(cols[4]));
     std::printf("  0.5x-CABA vs 1x-Base: %.2f vs %.2f\n",
                 geomean(cols[1]), geomean(cols[2]));
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

@@ -10,13 +10,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/sweep.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("fig13_cache_compression",
+                   jsonOutPath("fig13_cache_compression", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("Figure 13: compressed caches with CABA "
@@ -66,5 +69,7 @@ main()
                 "TRA, KM with L2) gain; L1\ncompression can degrade "
                 "hit-latency-sensitive apps since each L1 hit "
                 "decompresses.\n");
+    json.addSweep(sweep);
+    json.write();
     return 0;
 }

@@ -9,13 +9,16 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/json_export.h"
 #include "harness/runner.h"
 
 using namespace caba;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJson json("md_cache_study",
+                   jsonOutPath("md_cache_study", argc, argv));
     ExperimentOptions opts;
     printSystemConfig(opts);
     std::printf("MD cache sweep under CABA-BDI (Section 4.3.2)\n\n");
@@ -32,6 +35,8 @@ main()
             ExperimentOptions o = opts;
             o.md_cache_kb = kb;
             const RunResult r = runApp(app, DesignConfig::caba(), o);
+            json.addCell(app.name,
+                         "CABA-BDI@" + std::to_string(kb) + "KB", r);
             if (kb == 8)
                 hits_at_8kb.push_back(r.md_hit_rate);
             t.addRow({app.name, std::to_string(kb),
@@ -43,5 +48,6 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("8KB 4-way average hit rate: %s (paper: ~85%%)\n",
                 Table::pct(mean(hits_at_8kb)).c_str());
+    json.write();
     return 0;
 }

@@ -60,6 +60,9 @@ struct AssistWarp
     /** Opaque completion token interpreted by the purpose handler. */
     std::uint64_t token = 0;
 
+    /** Cycle the trigger fired (latency accounting and tracing). */
+    Cycle spawned = 0;
+
     bool finishedIssuing() const
     {
         return next >= static_cast<int>(code->size());

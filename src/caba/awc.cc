@@ -64,6 +64,7 @@ AssistWarpController::reapFinished(Cycle now, std::vector<AssistWarp> *out)
         AssistWarp &aw = table_[i];
         if (aw.finishedIssuing() && aw.ready_at <= now) {
             ++completions_;
+            latency_.record(now >= aw.spawned ? now - aw.spawned : 0);
             out->push_back(std::move(aw));
             table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
         } else {

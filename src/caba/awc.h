@@ -87,12 +87,14 @@ class AssistWarpController
     stats() const
     {
         StatSet s;
-        s.set("triggers", triggers_);
-        s.set("triggers_high", triggers_high_);
-        s.set("triggers_low", triggers_ - triggers_high_);
-        s.set("completions", completions_);
-        s.set("kills", kills_);
-        s.set("awt_full_rejections", rejections_);
+        s.setCounter("triggers", triggers_);
+        s.setCounter("triggers_high", triggers_high_);
+        s.setCounter("triggers_low", triggers_ - triggers_high_);
+        s.setCounter("completions", completions_);
+        s.setCounter("kills", kills_);
+        s.setCounter("awt_full_rejections", rejections_);
+        s.set("awt_capacity", static_cast<std::uint64_t>(cfg_.awt_entries));
+        s.dist("latency").merge(latency_);
         return s;
     }
 
@@ -114,6 +116,9 @@ class AssistWarpController
     std::uint64_t completions_ = 0;
     std::uint64_t kills_ = 0;
     std::uint64_t rejections_ = 0;
+
+    /** Spawn-to-completion cycles of every reaped assist warp. */
+    Distribution latency_;
 };
 
 } // namespace caba

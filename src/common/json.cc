@@ -1,0 +1,150 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace caba {
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!has_item_.empty()) {
+        if (has_item_.back())
+            out_ += ',';
+        has_item_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    CABA_CHECK(!has_item_.empty(), "endObject without beginObject");
+    has_item_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    CABA_CHECK(!has_item_.empty(), "endArray without beginArray");
+    has_item_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // JSON has no inf/nan literals; clamp to null.
+    std::string s(buf);
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos) {
+        s = "null";
+    }
+    out_ += s;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace caba

@@ -47,8 +47,13 @@ class ProgressReporter
     ~ProgressReporter()
     {
         std::lock_guard<std::mutex> lock(mu_);
-        std::fprintf(stderr, "%64s\r", "");
-        std::fflush(stderr);
+        // Blank exactly as many columns as the widest line we wrote;
+        // a long label or unit name would otherwise leave its tail
+        // behind (and a short one would over-erase the caller's text).
+        if (max_width_ > 0) {
+            std::fprintf(stderr, "%*s\r", max_width_, "");
+            std::fflush(stderr);
+        }
     }
 
     ProgressReporter(const ProgressReporter &) = delete;
@@ -60,9 +65,19 @@ class ProgressReporter
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++done_;
-        std::fprintf(stderr, "  [%s] %3d/%-3d %-32s\r", label_.c_str(),
-                     done_, total_, what.c_str());
+        int len = std::fprintf(stderr, "  [%s] %3d/%-3d %-32s\r",
+                               label_.c_str(), done_, total_, what.c_str());
+        --len;  // The trailing \r occupies no column.
+        if (len > max_width_)
+            max_width_ = len;
         std::fflush(stderr);
+    }
+
+    /** Widest progress line written so far, in columns. */
+    int maxWidth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return max_width_;
     }
 
     int done() const
@@ -76,6 +91,7 @@ class ProgressReporter
     std::string label_;
     int total_;
     int done_ = 0;
+    int max_width_ = 0;
 };
 
 } // namespace caba

@@ -25,8 +25,8 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
                      LineGenerator gen)
     : cfg_(cfg), design_(design), backing_(std::move(gen)),
       aws_({cfg.sm.alu_latency, cfg.sm.l1_latency}),
-      req_net_(cfg.num_sms, cfg.num_partitions, cfg.xbar),
-      reply_net_(cfg.num_partitions, cfg.num_sms, cfg.xbar)
+      req_net_(cfg.num_sms, cfg.num_partitions, cfg.xbar, 0),
+      reply_net_(cfg.num_partitions, cfg.num_sms, cfg.xbar, 100)
 {
     if (design_.usesCompression()) {
         model_ = std::make_unique<CompressionModel>(backing_, design_.algo,
@@ -127,11 +127,32 @@ GpuSystem::done() const
 RunResult
 GpuSystem::run()
 {
+    // Timeline sampling (counter-based rather than now_ % interval so a
+    // mid-run caller of step() cannot desynchronize the cadence).
+    Cycle until_sample = cfg_.sample_interval;
     while (!done()) {
         step();
         CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
+        if (cfg_.sample_interval > 0 && --until_sample == 0) {
+            until_sample = cfg_.sample_interval;
+            timeline_.push_back(sampleNow());
+        }
     }
+    if (cfg_.sample_interval > 0)
+        timeline_.push_back(sampleNow());   // final state
     return collect();
+}
+
+TimeSample
+GpuSystem::sampleNow() const
+{
+    TimeSample t;
+    t.cycle = now_;
+    for (const auto &sm : sms_)
+        t.instructions += sm->instructionsIssued();
+    for (const auto &part : partitions_)
+        t.dram_bursts += part->dram().totalBursts();
+    return t;
 }
 
 RunResult
@@ -139,10 +160,10 @@ GpuSystem::collect() const
 {
     RunResult r;
     r.cycles = now_;
+    r.timeline = timeline_;
 
     auto merge_prefixed = [&](const StatSet &src, const std::string &prefix) {
-        for (const auto &[k, v] : src.all())
-            r.stats.add(prefix + k, v);
+        r.stats.mergePrefixed(src, prefix);
     };
 
     for (const auto &sm : sms_) {

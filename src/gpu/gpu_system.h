@@ -46,6 +46,17 @@ struct GpuConfig
 
     /** Safety valve against a wedged simulation. */
     Cycle max_cycles = 20'000'000;
+
+    /** Cycles between timeline samples in RunResult (0 = no timeline). */
+    Cycle sample_interval = 8192;
+};
+
+/** One point of the progress-over-time series sampled during run(). */
+struct TimeSample
+{
+    Cycle cycle = 0;
+    std::uint64_t instructions = 0; ///< Cumulative, all SMs.
+    std::uint64_t dram_bursts = 0;  ///< Cumulative, all channels.
 };
 
 /** Everything the benches and tests read out of one simulation. */
@@ -60,6 +71,7 @@ struct RunResult
     CycleBreakdown breakdown;
     EnergyBreakdown energy;
     StatSet stats;                      ///< Merged, prefixed counters.
+    std::vector<TimeSample> timeline;   ///< Sampled progress series.
 };
 
 /** The simulated GPU. */
@@ -97,6 +109,7 @@ class GpuSystem
     int partitionOf(Addr line) const;
     void moveTraffic();
     RunResult collect() const;
+    TimeSample sampleNow() const;
 
     GpuConfig cfg_;
     DesignConfig design_;
@@ -108,6 +121,7 @@ class GpuSystem
     XbarDirection req_net_;
     XbarDirection reply_net_;
     Cycle now_ = 0;
+    std::vector<TimeSample> timeline_;
 };
 
 } // namespace caba

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "common/log.h"
+#include "common/self_profile.h"
 
 namespace caba {
 
@@ -40,18 +42,25 @@ RunResult
 runApp(const AppDescriptor &app, const DesignConfig &design,
        const ExperimentOptions &opts)
 {
-    Workload wl(app, opts.scale * scaleFromEnv());
-    GpuConfig cfg = makeGpuConfig(opts);
+    std::optional<GpuSystem> gpu;
+    int warps = 0;
+    std::optional<Workload> wl;
+    {
+        SelfProfile::Scope scope("build");
+        wl.emplace(app, opts.scale * scaleFromEnv());
+        GpuConfig cfg = makeGpuConfig(opts);
 
-    // Section 3.2.2: assist-warp registers are added to the per-block
-    // requirement; occupancy may drop if they do not fit the free pool.
-    const int assist = design.usesCaba() ? opts.assist_regs : 0;
-    const int warps = wl.warpsPerSm(assist, cfg.sm.max_warps);
-    wl.bindGrid(warps * cfg.num_sms);
-
-    GpuSystem gpu(cfg, design, wl.lineGenerator());
-    gpu.launch(&wl, warps);
-    return gpu.run();
+        // Section 3.2.2: assist-warp registers are added to the
+        // per-block requirement; occupancy may drop if they do not fit
+        // the free pool.
+        const int assist = design.usesCaba() ? opts.assist_regs : 0;
+        warps = wl->warpsPerSm(assist, cfg.sm.max_warps);
+        wl->bindGrid(warps * cfg.num_sms);
+        gpu.emplace(cfg, design, wl->lineGenerator());
+    }
+    SelfProfile::Scope scope("run");
+    gpu->launch(&*wl, warps);
+    return gpu->run();
 }
 
 double

@@ -1,9 +1,11 @@
 #include "harness/sweep.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "common/log.h"
+#include "common/self_profile.h"
 #include "common/thread_pool.h"
 
 namespace caba {
@@ -51,13 +53,27 @@ Sweep::Sweep(const std::vector<AppDescriptor> &apps,
                          : sweepJobsFromEnv(ThreadPool::defaultWorkers());
 
     std::vector<RunResult> results(cells.size());
-    ProgressReporter progress("sweep", static_cast<int>(cells.size()));
-    parallelFor(static_cast<int>(cells.size()), jobs, [&](int i) {
-        const Cell &c = cells[static_cast<std::size_t>(i)];
-        results[static_cast<std::size_t>(i)] =
-            runApp(*c.app, *c.design, c.opts);
-        progress.tick(c.app->name + " x " + c.design->name);
-    });
+    const auto self_before = SelfProfile::snapshot();
+    {
+        ProgressReporter progress("sweep", static_cast<int>(cells.size()));
+        parallelFor(static_cast<int>(cells.size()), jobs, [&](int i) {
+            const Cell &c = cells[static_cast<std::size_t>(i)];
+            results[static_cast<std::size_t>(i)] =
+                runApp(*c.app, *c.design, c.opts);
+            progress.tick(c.app->name + " x " + c.design->name);
+        });
+    }
+    // Wall-clock self-profile of this sweep (aggregated across workers;
+    // stderr only so the deterministic JSON exports stay byte-stable).
+    for (const auto &[name, ns] : SelfProfile::snapshot()) {
+        auto it = self_before.find(name);
+        const std::int64_t delta =
+            ns - (it == self_before.end() ? 0 : it->second);
+        if (delta > 0) {
+            std::fprintf(stderr, "  sweep self: %-8s %8.3fs\n", name.c_str(),
+                         static_cast<double>(delta) * 1e-9);
+        }
+    }
 
     // Insert in the original serial (app-major) order so the resulting
     // map is built identically regardless of worker count.

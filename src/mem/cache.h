@@ -79,10 +79,10 @@ class Cache
     stats() const
     {
         StatSet s;
-        s.set("hits", hits_);
-        s.set("misses", misses_);
-        s.set("evictions", evictions_);
-        s.set("dirty_evictions", dirty_evictions_);
+        s.setCounter("hits", hits_);
+        s.setCounter("misses", misses_);
+        s.setCounter("evictions", evictions_);
+        s.setCounter("dirty_evictions", dirty_evictions_);
         return s;
     }
 

@@ -32,6 +32,8 @@ CompressionModel::lookup(Addr line)
         stats_.add("uncompressed_bursts", kBurstsPerLine);
         stats_.add("compressed_bursts",
                    static_cast<std::uint64_t>(e.cl.bursts()));
+        stats_.dist("compressed_line_bytes")
+            .record(static_cast<std::uint64_t>(e.cl.size()));
         if (verify_) {
             std::uint8_t out[kLineSize];
             codec_->decompress(e.cl, out);

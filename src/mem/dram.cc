@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace caba {
 
@@ -14,8 +15,8 @@ constexpr Addr kChunkBytes = 256;
 
 } // namespace
 
-DramChannel::DramChannel(const DramConfig &cfg)
-    : cfg_(cfg), banks_(cfg.banks)
+DramChannel::DramChannel(const DramConfig &cfg, int id)
+    : cfg_(cfg), id_(id), banks_(cfg.banks)
 {
     CABA_CHECK(cfg_.banks > 0, "channel needs banks");
     CABA_CHECK(cfg_.burst_quarters > 0, "bad burst time");
@@ -72,6 +73,7 @@ DramChannel::enqueue(DramCmd cmd)
     } else {
         read_q_.push_back(cmd);
         ++reads_enqueued_;
+        read_queue_depth_.record(read_q_.size());
     }
 }
 
@@ -221,6 +223,17 @@ DramChannel::issue(std::deque<DramCmd> &q, int idx, Cycle now)
     overhead_bursts_ += static_cast<std::uint64_t>(cmd.extra_bursts);
     queue_wait_cycles_ += now - cmd.enqueued;
 
+    if (trace::on(trace::kDram)) {
+        // One span per access covering its data-bus occupancy, on the
+        // bank's own timeline row (quarter-cycles rounded to cycles).
+        const Cycle bus_start = start_q / 4;
+        const Cycle bus_dur = std::max<std::uint64_t>(1, busy_q / 4);
+        trace::complete(trace::kDram, trace::kPidDram,
+                        id_ * 100 + bank_idx,
+                        cmd.is_write ? "write" : "read", bus_start, bus_dur,
+                        "line", cmd.line);
+    }
+
     completed_.push_back({cmd.id, cmd.is_write, finish});
 }
 
@@ -287,19 +300,20 @@ StatSet
 DramChannel::stats() const
 {
     StatSet s;
-    s.set("row_hits", row_hits_);
-    s.set("row_misses", row_misses_);
-    s.set("activates", row_misses_);
-    s.set("reads", reads_);
-    s.set("writes", writes_);
-    s.set("bursts", bursts_);
-    s.set("data_bursts", data_bursts_);
-    s.set("overhead_bursts", overhead_bursts_);
-    s.set("queue_wait_cycles", queue_wait_cycles_);
-    s.set("reads_enqueued", reads_enqueued_);
-    s.set("writes_enqueued", writes_enqueued_);
-    s.set("sched_no_eligible", sched_no_eligible_);
-    s.set("sched_blocked_inflight_cap", sched_blocked_cap_);
+    s.setCounter("row_hits", row_hits_);
+    s.setCounter("row_misses", row_misses_);
+    s.setCounter("activates", row_misses_);
+    s.setCounter("reads", reads_);
+    s.setCounter("writes", writes_);
+    s.setCounter("bursts", bursts_);
+    s.setCounter("data_bursts", data_bursts_);
+    s.setCounter("overhead_bursts", overhead_bursts_);
+    s.setCounter("queue_wait_cycles", queue_wait_cycles_);
+    s.setCounter("reads_enqueued", reads_enqueued_);
+    s.setCounter("writes_enqueued", writes_enqueued_);
+    s.setCounter("sched_no_eligible", sched_no_eligible_);
+    s.setCounter("sched_blocked_inflight_cap", sched_blocked_cap_);
+    s.dist("read_queue_depth").merge(read_queue_depth_);
     return s;
 }
 

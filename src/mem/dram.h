@@ -99,7 +99,8 @@ struct DramCompletion
 class DramChannel
 {
   public:
-    explicit DramChannel(const DramConfig &cfg);
+    /** @p id names the channel in trace output (partition index). */
+    explicit DramChannel(const DramConfig &cfg, int id = 0);
 
     /** True when the relevant queue (read or write) has room. */
     bool canAccept(bool is_write) const;
@@ -163,6 +164,7 @@ class DramChannel
     std::deque<DramCmd> &activeQueue();
 
     DramConfig cfg_;
+    int id_;
     std::vector<Bank> banks_;
     std::deque<DramCmd> read_q_;
     std::deque<DramCmd> write_q_;
@@ -193,6 +195,9 @@ class DramChannel
     std::uint64_t writes_enqueued_ = 0;
     std::uint64_t sched_no_eligible_ = 0;
     std::uint64_t sched_blocked_cap_ = 0;
+
+    /** Read-queue depth sampled at every enqueue. */
+    Distribution read_queue_depth_;
 };
 
 } // namespace caba

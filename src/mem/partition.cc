@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace caba {
 
@@ -11,10 +12,9 @@ MemoryPartition::MemoryPartition(int id, const PartitionConfig &cfg,
                                  CompressionModel *model)
     : id_(id), cfg_(cfg), design_(design), model_(model),
       l2_({cfg.l2.size_bytes, cfg.l2.assoc, design.l2_tag_factor}),
-      dram_(cfg.dram), md_(cfg.md_size_bytes, cfg.md_assoc),
+      dram_(cfg.dram, id), md_(cfg.md_size_bytes, cfg.md_assoc),
       tlb_(cfg.tlb_size_bytes, 4, cfg.tlb_page_lines)
 {
-    (void)id_;
     if (design_.usesCompression())
         CABA_CHECK(model_, "compressed design needs a compression model");
 }
@@ -44,7 +44,7 @@ MemoryPartition::payloadBytes(Addr line)
 }
 
 std::pair<int, int>
-MemoryPartition::metadataCost(Addr line)
+MemoryPartition::metadataCost(Addr line, Cycle now)
 {
     // Page walk: a TLB miss costs one page-table burst in EVERY design
     // (paper footnote 4).
@@ -60,6 +60,10 @@ MemoryPartition::metadataCost(Addr line)
     ++n_.md_lookups;
     if (!md_.access(line)) {
         ++n_.md_misses;
+        if (trace::on(trace::kCache)) {
+            trace::instant(trace::kCache, trace::kPidCache, 200 + id_,
+                           "md_miss", now, "line", line);
+        }
         if (tlb_missed) {
             // The metadata fetch rides along with the page-table walk
             // (both live in reserved DRAM near the page structures).
@@ -86,7 +90,7 @@ MemoryPartition::issueDramRead(const MemRequest &req, Cycle now)
         ++n_.dram_stall_events;
         return;
     }
-    const auto [extra_lat, extra_bursts] = metadataCost(req.line);
+    const auto [extra_lat, extra_bursts] = metadataCost(req.line, now);
     DramCmd cmd;
     cmd.id = next_dram_id_++;
     cmd.line = req.line;
@@ -112,7 +116,7 @@ MemoryPartition::issueDramWrite(Addr line, Cycle now, bool partial_uncached)
         writeback_stalled_.push_back(line);
         return;
     }
-    const auto [extra_lat, extra_bursts] = metadataCost(line);
+    const auto [extra_lat, extra_bursts] = metadataCost(line, now);
     DramCmd cmd;
     cmd.id = next_dram_id_++;
     cmd.line = line;
@@ -166,8 +170,16 @@ MemoryPartition::handleL2Ready(const MemRequest &req, Cycle now)
 {
     if (!req.is_write) {
         if (l2_.access(req.line)) {
+            if (trace::on(trace::kCache)) {
+                trace::instant(trace::kCache, trace::kPidCache, 100 + id_,
+                               "l2_hit", now, "line", req.line);
+            }
             makeReply(req, now, false);
         } else {
+            if (trace::on(trace::kCache)) {
+                trace::instant(trace::kCache, trace::kPidCache, 100 + id_,
+                               "l2_miss", now, "line", req.line);
+            }
             issueDramRead(req, now);
         }
         return;
@@ -268,26 +280,30 @@ StatSet
 MemoryPartition::stats() const
 {
     StatSet s;
-    s.set("loads_in", n_.loads_in);
-    s.set("stores_in", n_.stores_in);
-    s.set("ingress_latency_total", n_.ingress_latency_total);
-    s.set("service_latency_total", n_.service_latency_total);
-    s.set("replies", n_.replies);
-    s.set("transfer_bursts", n_.transfer_bursts);
-    s.set("transfer_bursts_uncompressed", n_.transfer_bursts_uncompressed);
-    s.set("md_lookups", n_.md_lookups);
-    s.set("md_misses", n_.md_misses);
-    s.set("md_piggybacked", n_.md_piggybacked);
-    s.set("tlb_misses", n_.tlb_misses);
-    s.set("dram_read_merges", n_.dram_read_merges);
-    s.set("dram_stall_events", n_.dram_stall_events);
-    s.set("dram_writes_issued", n_.dram_writes_issued);
-    s.set("dram_writes_done", n_.dram_writes_done);
-    s.set("mc_compressions", n_.mc_compressions);
-    s.set("mc_decompressions", n_.mc_decompressions);
-    s.set("l2_store_accesses", n_.l2_store_accesses);
-    s.set("partial_store_fills", n_.partial_store_fills);
-    s.set("partial_store_writethrough", n_.partial_store_writethrough);
+    s.setCounter("loads_in", n_.loads_in);
+    s.setCounter("stores_in", n_.stores_in);
+    s.setCounter("ingress_latency_total", n_.ingress_latency_total);
+    s.setCounter("service_latency_total", n_.service_latency_total);
+    s.setCounter("replies", n_.replies);
+    s.setCounter("transfer_bursts", n_.transfer_bursts);
+    s.setCounter("transfer_bursts_uncompressed",
+                 n_.transfer_bursts_uncompressed);
+    s.setCounter("md_lookups", n_.md_lookups);
+    s.setCounter("md_misses", n_.md_misses);
+    s.setCounter("md_piggybacked", n_.md_piggybacked);
+    s.setCounter("tlb_misses", n_.tlb_misses);
+    s.setCounter("dram_read_merges", n_.dram_read_merges);
+    s.setCounter("dram_stall_events", n_.dram_stall_events);
+    s.setCounter("dram_writes_issued", n_.dram_writes_issued);
+    s.setCounter("dram_writes_done", n_.dram_writes_done);
+    s.setCounter("mc_compressions", n_.mc_compressions);
+    s.setCounter("mc_decompressions", n_.mc_decompressions);
+    s.setCounter("l2_store_accesses", n_.l2_store_accesses);
+    s.setCounter("partial_store_fills", n_.partial_store_fills);
+    s.setCounter("partial_store_writethrough",
+                 n_.partial_store_writethrough);
+    s.set("md_capacity_bytes",
+          static_cast<std::uint64_t>(cfg_.md_size_bytes));
     return s;
 }
 

@@ -107,7 +107,7 @@ class MemoryPartition
      * and the metadata fetch (compressed designs, unless it piggybacks
      * on a concurrent page walk).
      */
-    std::pair<int, int> metadataCost(Addr line);
+    std::pair<int, int> metadataCost(Addr line, Cycle now);
 
     int id_;
     PartitionConfig cfg_;

@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace caba {
 
-XbarDirection::XbarDirection(int inputs, int outputs, const XbarConfig &cfg)
+XbarDirection::XbarDirection(int inputs, int outputs, const XbarConfig &cfg,
+                             int trace_tid_base)
     : cfg_(cfg), inputs_(inputs), outputs_(outputs),
+      trace_tid_base_(trace_tid_base),
       in_q_(inputs), port_busy_until_(outputs, 0), rr_(outputs, 0),
       out_q_(outputs), flying_per_out_(outputs, 0)
 {
@@ -71,6 +74,13 @@ XbarDirection::cycle(Cycle now)
             ++flying_per_out_[out];
             stats_.add("packets");
             stats_.add("flits", static_cast<std::uint64_t>(flits));
+            if (trace::on(trace::kXbar)) {
+                // Span = output-port occupancy of this packet.
+                trace::complete(trace::kXbar, trace::kPidXbar,
+                                trace_tid_base_ + out, "packet", now,
+                                static_cast<Cycle>(flits), "flits",
+                                static_cast<std::uint64_t>(flits));
+            }
             rr_[out] = (in + 1) % inputs_;
             break;
         }

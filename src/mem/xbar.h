@@ -33,7 +33,10 @@ struct XbarConfig
 class XbarDirection
 {
   public:
-    XbarDirection(int inputs, int outputs, const XbarConfig &cfg);
+    /** @p trace_tid_base offsets output-port tids in trace output so
+     *  the request and reply directions land on distinct rows. */
+    XbarDirection(int inputs, int outputs, const XbarConfig &cfg,
+                  int trace_tid_base = 0);
 
     /** True when input port @p in can take another packet. */
     bool canPush(int in) const;
@@ -74,6 +77,7 @@ class XbarDirection
     XbarConfig cfg_;
     int inputs_;
     int outputs_;
+    int trace_tid_base_;
     std::vector<std::deque<std::pair<int, MemRequest>>> in_q_;
     std::vector<Cycle> port_busy_until_;
     std::vector<int> rr_;

@@ -3,8 +3,32 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace caba {
+
+namespace {
+
+/** Trace label for an assist-warp purpose (string literals only: the
+ *  tracer keeps pointers until flush). */
+const char *
+purposeName(AssistPurpose p)
+{
+    switch (p) {
+      case AssistPurpose::DecompressFill: return "decompress_fill";
+      case AssistPurpose::DecompressHit: return "decompress_hit";
+      case AssistPurpose::Compress: return "compress";
+      case AssistPurpose::Memoize: return "memoize";
+      case AssistPurpose::Prefetch: return "prefetch";
+    }
+    return "assist";
+}
+
+const char *const kIssueClassNames[] = {
+    "active", "mem_stall", "comp_stall", "data_stall", "idle",
+};
+
+} // namespace
 
 SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
                const CabaConfig &caba_cfg, const ExtrasConfig &extras,
@@ -47,6 +71,8 @@ SmCore::launch(const KernelInfo *kernel, int num_warps, int warp_global_base,
                "scoreboard supports at most 64 registers per thread");
     kernel_ = kernel;
     live_warps_ = num_warps;
+    trace::instant(trace::kWarp, trace::kPidSm, id_, "launch", 0, "warps",
+                   static_cast<std::uint64_t>(num_warps));
     for (int w = 0; w < num_warps; ++w) {
         WarpState &ws = warps_[static_cast<std::size_t>(w)];
         ws = WarpState{};
@@ -116,7 +142,7 @@ SmCore::cycle(Cycle now)
     drainLdst(now);
     decodeStage();
     issueStage(now);
-    classifyCycle();
+    classifyCycle(now);
 }
 
 // ------------------------------------------------------------ decode
@@ -237,7 +263,7 @@ SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok)
 
 bool
 SmCore::triggerDecompress(Addr line, AssistPurpose purpose,
-                          std::uint64_t token)
+                          std::uint64_t token, Cycle now)
 {
     const Codec &codec = getCodec(design_.algo);
     const CompressedLine &cl = model_->lookup(line);
@@ -249,26 +275,37 @@ SmCore::triggerDecompress(Addr line, AssistPurpose purpose,
     aw.code = &aws_->decompressRoutine(codec, cl);
     aw.line = line;
     aw.token = token;
-    return awc_.trigger(std::move(aw));
+    aw.spawned = now;
+    const bool ok = awc_.trigger(std::move(aw));
+    if (ok) {
+        trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                       "spawn_decompress", now, "line", line);
+    }
+    return ok;
 }
 
 void
-SmCore::maybePrefetch(Addr line, int stream)
+SmCore::maybePrefetch(Addr line, int stream, Cycle now)
 {
     if (!extras_.prefetch || stream < 0)
         return;
     // Stride assist warp (Section 7.2): computes the lookahead address
     // and issues a prefetch, deployed at low priority so it only uses
     // idle slots.
+    const Addr pf_line =
+        line + static_cast<Addr>(extras_.prefetch_lookahead) * kLineSize;
     AssistWarp aw;
     aw.priority = AssistPriority::Low;
     aw.purpose = AssistPurpose::Prefetch;
     aw.code = &aws_->prefetchRoutine();
-    aw.line = line + static_cast<Addr>(extras_.prefetch_lookahead) *
-                         kLineSize;
+    aw.line = pf_line;
     aw.token = 0;
-    if (awc_.trigger(std::move(aw)))
+    aw.spawned = now;
+    if (awc_.trigger(std::move(aw))) {
         ++n_.prefetch_warps;
+        trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                       "spawn_prefetch", now, "line", pf_line);
+    }
 }
 
 void
@@ -287,6 +324,10 @@ SmCore::drainLdst(Cycle now)
             // Probe without counting first so replayed lines do not
             // inflate hit/miss statistics or churn LRU state.
             if (!l1_.contains(line)) {
+                if (trace::on(trace::kCache)) {
+                    trace::instant(trace::kCache, trace::kPidCache, id_,
+                                   "l1_miss", now, "line", line);
+                }
                 auto it = mshrs_.find(line);
                 if (it != mshrs_.end()) {
                     l1_.access(line);   // counts the miss
@@ -319,13 +360,18 @@ SmCore::drainLdst(Cycle now)
             }
             if (l1_.access(line)) {
                 ++n_.l1_load_hits;
+                if (trace::on(trace::kCache)) {
+                    trace::instant(trace::kCache, trace::kPidCache, id_,
+                                   "l1_hit", now, "line", line);
+                }
                 if (design_.l1_tag_factor > 1 && design_.usesCaba() &&
                     !model_->lookup(line).isUncompressed()) {
                     // Compressed L1 (Section 6.5): every hit pays a
                     // decompression assist warp.
                     if (!triggerDecompress(
                             line, AssistPurpose::DecompressHit,
-                            static_cast<std::uint64_t>(ldst_.load_slot))) {
+                            static_cast<std::uint64_t>(ldst_.load_slot),
+                            now)) {
                         ldst_stalled_this_cycle_ = true;
                         saw_mem_block_ = true;
                         return;     // AWT full: retry this line next cycle
@@ -360,6 +406,9 @@ SmCore::drainLdst(Cycle now)
                      it != comp_stores_.end();) {
                     if (it->second.line == line) {
                         awc_.killByToken(it->first, AssistPurpose::Compress);
+                        trace::instant(trace::kAssistWarp, trace::kPidAssist,
+                                       id_, "kill_compress", now, "line",
+                                       line);
                         it = comp_stores_.erase(it);
                         stats_add_store_kill_ += 1;
                     } else {
@@ -379,8 +428,11 @@ SmCore::drainLdst(Cycle now)
                     aw.code = &aws_->compressRoutine(getCodec(design_.algo));
                     aw.line = line;
                     aw.token = token;
+                    aw.spawned = now;
                     const bool ok = awc_.trigger(std::move(aw));
                     CABA_CHECK(ok, "AWT trigger failed despite hasRoom");
+                    trace::instant(trace::kAssistWarp, trace::kPidAssist,
+                                   id_, "spawn_compress", now, "line", line);
                     ++n_.stores_buffered;
                 } else {
                     // Buffer overflow: release uncompressed (Section
@@ -410,6 +462,13 @@ SmCore::reapAssistWarps(Cycle now)
     std::vector<AssistWarp> finished;
     awc_.reapFinished(now, &finished);
     for (const AssistWarp &aw : finished) {
+        if (trace::on(trace::kAssistWarp)) {
+            // One span per assist warp, from spawn to completion.
+            const Cycle dur = now > aw.spawned ? now - aw.spawned : 1;
+            trace::complete(trace::kAssistWarp, trace::kPidAssist, id_,
+                            purposeName(aw.purpose), aw.spawned, dur, "line",
+                            aw.line);
+        }
         switch (aw.purpose) {
           case AssistPurpose::DecompressFill:
             ++n_.caba_decompressions;
@@ -456,10 +515,9 @@ SmCore::reapAssistWarps(Cycle now)
 void
 SmCore::retryPendingFills(Cycle now)
 {
-    (void)now;
     while (!pending_fills_.empty()) {
         const Addr line = pending_fills_.front();
-        if (!triggerDecompress(line, AssistPurpose::DecompressFill, 0))
+        if (!triggerDecompress(line, AssistPurpose::DecompressFill, 0, now))
             return;
         pending_fills_.pop_front();
     }
@@ -486,12 +544,13 @@ SmCore::deliver(const MemRequest &reply, Cycle now)
 {
     ++n_.fills;
     n_.fill_latency_total += now - reply.created;
+    fill_latency_dist_.record(now - reply.created);
     if (reply.compressed) {
         switch (design_.decompress) {
           case DecompressSite::L1Caba:
             ++n_.fills_compressed;
             if (!triggerDecompress(reply.line, AssistPurpose::DecompressFill,
-                                   0)) {
+                                   0, now)) {
                 pending_fills_.push_back(reply.line);
             }
             return;
@@ -584,8 +643,12 @@ SmCore::tryIssueRegular(int warp, Cycle now)
             aw.priority = AssistPriority::Low;
             aw.purpose = AssistPurpose::Memoize;
             aw.code = &aws_->memoizeRoutine();
-            if (awc_.trigger(std::move(aw)))
+            aw.spawned = now;
+            if (awc_.trigger(std::move(aw))) {
                 ++n_.memoize_warps;
+                trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                               "spawn_memoize", now);
+            }
         }
         Event ev;
         ev.warp = warp;
@@ -647,7 +710,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
                 ldst_.load_slot = allocLoadSlot(
                     warp, mask,
                     static_cast<int>(ldst_.access.lines.size()));
-                maybePrefetch(ldst_.access.lines.front(), inst.stream);
+                maybePrefetch(ldst_.access.lines.front(), inst.stream, now);
             }
             ++n_.issued_global_loads;
         } else {
@@ -666,6 +729,8 @@ SmCore::tryIssueRegular(int warp, Cycle now)
         w.done = true;
         --live_warps_;
         ++n_.warps_retired;
+        trace::instant(trace::kWarp, trace::kPidSm, id_, "warp_retire", now,
+                       "warp", static_cast<std::uint64_t>(w.global_id));
         break;
     }
 
@@ -777,20 +842,50 @@ SmCore::issueStage(Cycle now)
 }
 
 void
-SmCore::classifyCycle()
+SmCore::classifyCycle(Cycle now)
 {
-    if (live_warps_ == 0 && awc_.table().empty())
-        return;     // retired SM: not counted in the issue breakdown
+    if (live_warps_ == 0 && awc_.table().empty()) {
+        // Retired SM: not counted in the issue breakdown. Close any
+        // open trace span at the retirement boundary.
+        if (trace_class_ >= 0) {
+            trace::complete(trace::kWarp, trace::kPidSm, id_,
+                            kIssueClassNames[trace_class_],
+                            trace_class_start_, now - trace_class_start_);
+            trace_class_ = -1;
+        }
+        return;
+    }
+    int cls;
     if (issued_any_) {
         ++breakdown_.active;
+        cls = 0;
     } else if (saw_mem_block_ || ldst_stalled_this_cycle_) {
         ++breakdown_.mem_stall;
+        cls = 1;
     } else if (saw_compute_block_) {
         ++breakdown_.comp_stall;
+        cls = 2;
     } else if (saw_data_block_) {
         ++breakdown_.data_stall;
+        cls = 3;
     } else {
         ++breakdown_.idle;
+        cls = 4;
+    }
+    if (!trace::on(trace::kWarp)) {
+        trace_class_ = -1;
+        return;
+    }
+    // Issue-class spans: emit one complete event per maximal run of
+    // same-classified cycles rather than one instant per cycle.
+    if (cls != trace_class_) {
+        if (trace_class_ >= 0) {
+            trace::complete(trace::kWarp, trace::kPidSm, id_,
+                            kIssueClassNames[trace_class_],
+                            trace_class_start_, now - trace_class_start_);
+        }
+        trace_class_ = cls;
+        trace_class_start_ = now;
     }
 }
 
@@ -798,39 +893,40 @@ StatSet
 SmCore::stats() const
 {
     StatSet s;
-    s.set("issued_alu", n_.issued_alu);
-    s.set("issued_sfu", n_.issued_sfu);
-    s.set("issued_shmem", n_.issued_shmem);
-    s.set("issued_branches", n_.issued_branches);
-    s.set("issued_global_loads", n_.issued_global_loads);
-    s.set("issued_global_stores", n_.issued_global_stores);
-    s.set("global_lines_accessed", n_.global_lines_accessed);
-    s.set("warps_retired", n_.warps_retired);
-    s.set("l1_load_hits", n_.l1_load_hits);
-    s.set("l1_load_misses", n_.l1_load_misses);
-    s.set("mshr_merges", n_.mshr_merges);
-    s.set("assist_alu_issued", n_.assist_alu_issued);
-    s.set("assist_mem_issued", n_.assist_mem_issued);
-    s.set("assist_instructions", n_.assist_instructions);
-    s.set("assist_idle_slot_issues", n_.assist_idle_slot_issues);
-    s.set("fills", n_.fills);
-    s.set("fill_latency_total", n_.fill_latency_total);
-    s.set("fills_compressed", n_.fills_compressed);
-    s.set("caba_decompressions", n_.caba_decompressions);
-    s.set("caba_hit_decompressions", n_.caba_hit_decompressions);
-    s.set("caba_compressions", n_.caba_compressions);
-    s.set("hw_l1_decompressions", n_.hw_l1_decompressions);
-    s.set("hw_store_compressions", n_.hw_store_compressions);
-    s.set("stores_sent_compressed", n_.stores_sent_compressed);
-    s.set("stores_sent_uncompressed", n_.stores_sent_uncompressed);
-    s.set("stores_buffered_for_compression", n_.stores_buffered);
-    s.set("store_buffer_overflows", n_.store_buffer_overflows);
-    s.set("stale_compressions_killed", stats_add_store_kill_);
-    s.set("memo_hits", n_.memo_hits);
-    s.set("memoize_warps", n_.memoize_warps);
-    s.set("prefetch_warps", n_.prefetch_warps);
-    s.set("prefetches_issued", n_.prefetches_issued);
-    s.set("prefetches_dropped", n_.prefetches_dropped);
+    s.setCounter("issued_alu", n_.issued_alu);
+    s.setCounter("issued_sfu", n_.issued_sfu);
+    s.setCounter("issued_shmem", n_.issued_shmem);
+    s.setCounter("issued_branches", n_.issued_branches);
+    s.setCounter("issued_global_loads", n_.issued_global_loads);
+    s.setCounter("issued_global_stores", n_.issued_global_stores);
+    s.setCounter("global_lines_accessed", n_.global_lines_accessed);
+    s.setCounter("warps_retired", n_.warps_retired);
+    s.setCounter("l1_load_hits", n_.l1_load_hits);
+    s.setCounter("l1_load_misses", n_.l1_load_misses);
+    s.setCounter("mshr_merges", n_.mshr_merges);
+    s.setCounter("assist_alu_issued", n_.assist_alu_issued);
+    s.setCounter("assist_mem_issued", n_.assist_mem_issued);
+    s.setCounter("assist_instructions", n_.assist_instructions);
+    s.setCounter("assist_idle_slot_issues", n_.assist_idle_slot_issues);
+    s.setCounter("fills", n_.fills);
+    s.setCounter("fill_latency_total", n_.fill_latency_total);
+    s.setCounter("fills_compressed", n_.fills_compressed);
+    s.setCounter("caba_decompressions", n_.caba_decompressions);
+    s.setCounter("caba_hit_decompressions", n_.caba_hit_decompressions);
+    s.setCounter("caba_compressions", n_.caba_compressions);
+    s.setCounter("hw_l1_decompressions", n_.hw_l1_decompressions);
+    s.setCounter("hw_store_compressions", n_.hw_store_compressions);
+    s.setCounter("stores_sent_compressed", n_.stores_sent_compressed);
+    s.setCounter("stores_sent_uncompressed", n_.stores_sent_uncompressed);
+    s.setCounter("stores_buffered_for_compression", n_.stores_buffered);
+    s.setCounter("store_buffer_overflows", n_.store_buffer_overflows);
+    s.setCounter("stale_compressions_killed", stats_add_store_kill_);
+    s.setCounter("memo_hits", n_.memo_hits);
+    s.setCounter("memoize_warps", n_.memoize_warps);
+    s.setCounter("prefetch_warps", n_.prefetch_warps);
+    s.setCounter("prefetches_issued", n_.prefetches_issued);
+    s.setCounter("prefetches_dropped", n_.prefetches_dropped);
+    s.dist("fill_latency").merge(fill_latency_dist_);
     return s;
 }
 

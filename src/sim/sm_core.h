@@ -219,7 +219,7 @@ class SmCore
     void drainLdst(Cycle now);
     void decodeStage();
     void issueStage(Cycle now);
-    void classifyCycle();
+    void classifyCycle(Cycle now);
 
     // helpers
     void decodeOneWarp(WarpState &w);
@@ -233,8 +233,8 @@ class SmCore
     void commitStoreLine(Addr line);
     int allocLoadSlot(int warp, std::uint64_t regmask, int lines);
     bool triggerDecompress(Addr line, AssistPurpose purpose,
-                           std::uint64_t token);
-    void maybePrefetch(Addr line, int stream);
+                           std::uint64_t token, Cycle now);
+    void maybePrefetch(Addr line, int stream, Cycle now);
 
     static constexpr int kRingSize = 64;
 
@@ -287,6 +287,13 @@ class SmCore
     CycleBreakdown breakdown_;
     std::uint64_t instr_issued_ = 0;
     int live_warps_ = 0;
+
+    /** Span tracking for the warp-category trace: current issue class
+     *  (index into the Figure 1 breakdown, -1 none) and its start. */
+    int trace_class_ = -1;
+    Cycle trace_class_start_ = 0;
+
+    Distribution fill_latency_dist_;
 
     /** Hot-path counters (assembled into a StatSet by stats()). */
     struct Counters

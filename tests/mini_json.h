@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tiny recursive-descent JSON parser, tests only. The simulator never
+ * parses JSON at runtime (common/json.h is write-only); the tests use
+ * this to check that the bench `--json` exports and the Chrome trace
+ * files are well-formed and carry the expected structure. Strictness
+ * over speed: trailing garbage, unbalanced nesting and bad escapes are
+ * all parse errors.
+ */
+#ifndef CABA_TESTS_MINI_JSON_H
+#define CABA_TESTS_MINI_JSON_H
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace minijson {
+
+struct Value
+{
+    enum Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isNull() const { return kind == Null; }
+    bool isNumber() const { return kind == Number; }
+    bool isString() const { return kind == String; }
+    bool isArray() const { return kind == Array; }
+    bool isObject() const { return kind == Object; }
+
+    /** Member lookup; null when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (kind != Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(Value *out)
+    {
+        pos_ = 0;
+        ok_ = true;
+        *out = parseValue();
+        skipSpace();
+        return ok_ && pos_ == text_.size();
+    }
+
+  private:
+    char
+    peek()
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    next()
+    {
+        return pos_ < text_.size() ? text_[pos_++] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (next() != *p) {
+                ok_ = false;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        skipSpace();
+        Value v;
+        switch (peek()) {
+          case '{': v = parseObject(); break;
+          case '[': v = parseArray(); break;
+          case '"':
+            v.kind = Value::String;
+            v.string = parseString();
+            break;
+          case 't':
+            literal("true");
+            v.kind = Value::Bool;
+            v.boolean = true;
+            break;
+          case 'f':
+            literal("false");
+            v.kind = Value::Bool;
+            break;
+          case 'n': literal("null"); break;
+          default: v = parseNumber(); break;
+        }
+        return v;
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.kind = Value::Object;
+        next(); // '{'
+        skipSpace();
+        if (peek() == '}') {
+            next();
+            return v;
+        }
+        while (ok_) {
+            skipSpace();
+            if (peek() != '"') {
+                ok_ = false;
+                break;
+            }
+            const std::string key = parseString();
+            skipSpace();
+            if (next() != ':') {
+                ok_ = false;
+                break;
+            }
+            v.object[key] = parseValue();
+            skipSpace();
+            const char c = next();
+            if (c == '}')
+                break;
+            if (c != ',') {
+                ok_ = false;
+                break;
+            }
+        }
+        return v;
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.kind = Value::Array;
+        next(); // '['
+        skipSpace();
+        if (peek() == ']') {
+            next();
+            return v;
+        }
+        while (ok_) {
+            v.array.push_back(parseValue());
+            skipSpace();
+            const char c = next();
+            if (c == ']')
+                break;
+            if (c != ',') {
+                ok_ = false;
+                break;
+            }
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string s;
+        next(); // '"'
+        while (ok_) {
+            const char c = next();
+            if (c == '"')
+                break;
+            if (c == '\0') {
+                ok_ = false;
+                break;
+            }
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            const char e = next();
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = next();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        ok_ = false;
+                }
+                // ASCII only; the writer never emits higher escapes.
+                s += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default: ok_ = false; break;
+            }
+        }
+        return s;
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                (text_[pos_] >= '0' && text_[pos_] <= '9')))
+            ++pos_;
+        Value v;
+        if (pos_ == start) {
+            ok_ = false;
+            return v;
+        }
+        v.kind = Value::Number;
+        v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Parses @p text; false on any syntax error or trailing garbage. */
+inline bool
+parse(const std::string &text, Value *out)
+{
+    return Parser(text).parse(out);
+}
+
+} // namespace minijson
+
+#endif // CABA_TESTS_MINI_JSON_H

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the stats layer: counter-vs-gauge merge semantics
+ * (the old StatSet summed everything, which scaled capacities by the
+ * number of SMs merged) and the log2-bucketed Distribution histogram,
+ * including the 0 / max / saturation edge cases.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace caba {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(DistributionTest, BucketOfEdgeCases)
+{
+    EXPECT_EQ(Distribution::bucketOf(0), 0);
+    EXPECT_EQ(Distribution::bucketOf(1), 1);
+    EXPECT_EQ(Distribution::bucketOf(2), 2);
+    EXPECT_EQ(Distribution::bucketOf(3), 2);
+    EXPECT_EQ(Distribution::bucketOf(4), 3);
+    EXPECT_EQ(Distribution::bucketOf(7), 3);
+    EXPECT_EQ(Distribution::bucketOf(8), 4);
+    EXPECT_EQ(Distribution::bucketOf(std::uint64_t{1} << 63), 64);
+    EXPECT_EQ(Distribution::bucketOf(kMax), 64);
+}
+
+TEST(DistributionTest, BucketLowInvertsBucketOf)
+{
+    EXPECT_EQ(Distribution::bucketLow(0), 0u);
+    EXPECT_EQ(Distribution::bucketLow(1), 1u);
+    EXPECT_EQ(Distribution::bucketLow(64), std::uint64_t{1} << 63);
+    // bucketLow(b) is the smallest member of bucket b, and the value
+    // just below it falls in bucket b-1.
+    for (int b = 1; b < Distribution::kBuckets; ++b) {
+        const std::uint64_t low = Distribution::bucketLow(b);
+        EXPECT_EQ(Distribution::bucketOf(low), b) << "bucket " << b;
+        EXPECT_EQ(Distribution::bucketOf(low - 1), b - 1) << "bucket " << b;
+    }
+}
+
+TEST(DistributionTest, RecordZero)
+{
+    Distribution d;
+    d.record(0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(DistributionTest, RecordMaxValue)
+{
+    Distribution d;
+    d.record(kMax);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.sum(), kMax);
+    EXPECT_EQ(d.min(), kMax);
+    EXPECT_EQ(d.max(), kMax);
+    EXPECT_EQ(d.buckets()[64], 1u);
+}
+
+TEST(DistributionTest, SumSaturatesInsteadOfWrapping)
+{
+    Distribution d;
+    d.record(kMax);
+    d.record(kMax);
+    d.record(7);
+    EXPECT_EQ(d.sum(), kMax); // pinned at the ceiling, no wraparound
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.min(), 7u);
+    EXPECT_EQ(d.max(), kMax);
+}
+
+TEST(DistributionTest, MinMaxTrackAcrossRecords)
+{
+    Distribution d;
+    d.record(100);
+    d.record(3);
+    d.record(5000);
+    EXPECT_EQ(d.min(), 3u);
+    EXPECT_EQ(d.max(), 5000u);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 5103u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5103.0 / 3.0);
+}
+
+TEST(DistributionTest, MergeAddsBucketwise)
+{
+    Distribution a, b;
+    a.record(1);
+    a.record(10);
+    b.record(0);
+    b.record(10);
+    b.record(4000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.sum(), 1u + 10 + 0 + 10 + 4000);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 4000u);
+    EXPECT_EQ(a.buckets()[0], 1u);                           // 0
+    EXPECT_EQ(a.buckets()[1], 1u);                           // 1
+    EXPECT_EQ(a.buckets()[Distribution::bucketOf(10)], 2u);  // both 10s
+}
+
+TEST(DistributionTest, MergeWithEmptySides)
+{
+    Distribution empty, filled, target;
+    filled.record(42);
+
+    // empty.merge(empty) stays empty.
+    target.merge(empty);
+    EXPECT_EQ(target.count(), 0u);
+
+    // merging into an empty histogram copies the other side.
+    target.merge(filled);
+    EXPECT_TRUE(target == filled);
+
+    // merging an empty histogram changes nothing (min must not be
+    // clobbered by the empty side's zero-initialized fields).
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 1u);
+    EXPECT_EQ(filled.min(), 42u);
+}
+
+TEST(StatSetTest, MergeSumsCounters)
+{
+    StatSet a, b;
+    a.add("hits", 10);
+    b.add("hits", 5);
+    b.add("misses", 2);
+    a.merge(b);
+    EXPECT_EQ(a.get("hits"), 15u);
+    EXPECT_EQ(a.get("misses"), 2u);
+    EXPECT_FALSE(a.isGauge("hits"));
+}
+
+TEST(StatSetTest, SetCounterHasCounterSemantics)
+{
+    // The per-SM snapshot pattern: plain members set into a StatSet,
+    // then summed across SMs.
+    StatSet total;
+    for (int sm = 0; sm < 3; ++sm) {
+        StatSet s;
+        s.setCounter("issued", 100);
+        total.merge(s);
+    }
+    EXPECT_EQ(total.get("issued"), 300u);
+}
+
+TEST(StatSetTest, MergeOverwritesGauges)
+{
+    // Six partitions each report an 8KB MD cache; the merged result
+    // must still say 8KB, not 48KB. This is the bug the counter/gauge
+    // split fixes: the old merge summed configuration values.
+    StatSet total;
+    for (int part = 0; part < 6; ++part) {
+        StatSet s;
+        s.set("md_capacity_bytes", 8192);
+        s.setCounter("md_misses", 10);
+        total.merge(s);
+    }
+    EXPECT_EQ(total.get("md_capacity_bytes"), 8192u);
+    EXPECT_TRUE(total.isGauge("md_capacity_bytes"));
+    EXPECT_EQ(total.get("md_misses"), 60u);
+    EXPECT_FALSE(total.isGauge("md_misses"));
+}
+
+TEST(StatSetTest, MergePrefixedKeepsSemantics)
+{
+    StatSet src;
+    src.add("hits", 4);
+    src.set("capacity", 512);
+    src.dist("lat").record(16);
+
+    StatSet dst;
+    dst.mergePrefixed(src, "l1_");
+    dst.mergePrefixed(src, "l1_"); // second SM with identical stats
+
+    EXPECT_EQ(dst.get("l1_hits"), 8u);
+    EXPECT_EQ(dst.get("l1_capacity"), 512u);
+    EXPECT_TRUE(dst.isGauge("l1_capacity"));
+    ASSERT_NE(dst.findDist("l1_lat"), nullptr);
+    EXPECT_EQ(dst.findDist("l1_lat")->count(), 2u);
+    EXPECT_EQ(dst.findDist("lat"), nullptr);
+}
+
+TEST(StatSetTest, RatioAndLookupDefaults)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("absent"), 0u);
+    EXPECT_EQ(s.ratio("a", "b"), 0.0);
+    s.add("a", 3);
+    s.add("b", 4);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.75);
+    EXPECT_EQ(s.findDist("absent"), nullptr);
+}
+
+} // namespace
+} // namespace caba

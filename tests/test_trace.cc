@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Event-tracing tests: a traced CABA-BDI run must produce a valid
+ * Chrome trace-event JSON file containing warp, assist-warp, cache and
+ * dram events with sane timestamps — and tracing must be invisible to
+ * the simulation itself (bit-identical cycle counts on or off).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/trace.h"
+#include "gpu/design.h"
+#include "harness/runner.h"
+#include "mini_json.h"
+#include "workloads/app.h"
+
+namespace caba {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+ExperimentOptions
+smallOpts()
+{
+    ExperimentOptions opts;
+    opts.scale = 0.1; // a short run still spawns hundreds of events
+    return opts;
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        // Never leak an active session into other tests.
+        if (trace::active())
+            trace::stop();
+    }
+};
+
+TEST_F(TraceTest, MaskFromNames)
+{
+    EXPECT_EQ(trace::maskFromNames("warp"), trace::kWarp);
+    EXPECT_EQ(trace::maskFromNames("warp,dram"),
+              trace::kWarp | trace::kDram);
+    EXPECT_EQ(trace::maskFromNames("assist, cache"),
+              trace::kAssistWarp | trace::kCache);
+    EXPECT_EQ(trace::maskFromNames("assist-warp"), trace::kAssistWarp);
+    EXPECT_EQ(trace::maskFromNames("all"), trace::kAll);
+    EXPECT_EQ(trace::maskFromNames("xbar,bogus"), trace::kXbar);
+    EXPECT_EQ(trace::maskFromNames(""), 0u);
+}
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(trace::active());
+    EXPECT_FALSE(trace::on(trace::kWarp));
+    // Emission without a session is a silent no-op, not a crash.
+    trace::instant(trace::kWarp, trace::kPidSm, 0, "noop", 0);
+    trace::complete(trace::kDram, trace::kPidDram, 0, "noop", 0, 1);
+}
+
+TEST_F(TraceTest, CategoryMaskGatesOn)
+{
+    const std::string path = testing::TempDir() + "caba_mask_trace.json";
+    trace::start(path, trace::kWarp | trace::kDram);
+    EXPECT_TRUE(trace::active());
+    EXPECT_TRUE(trace::on(trace::kWarp));
+    EXPECT_TRUE(trace::on(trace::kDram));
+    EXPECT_FALSE(trace::on(trace::kCache));
+    EXPECT_FALSE(trace::on(trace::kXbar));
+    trace::stop();
+    EXPECT_FALSE(trace::active());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, EmptySessionWritesValidJson)
+{
+    const std::string path = testing::TempDir() + "caba_empty_trace.json";
+    trace::start(path);
+    trace::stop();
+
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(readFile(path), &doc));
+    const minijson::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // Only metadata (process names + the closing placeholder).
+    for (const minijson::Value &ev : events->array)
+        EXPECT_EQ(ev.find("ph")->string, "M");
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, TracedRunProducesAllCategories)
+{
+    const std::string path = testing::TempDir() + "caba_run_trace.json";
+    trace::start(path);
+    runApp(findApp("PVC"), DesignConfig::caba(), smallOpts());
+    trace::stop();
+
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(readFile(path), &doc));
+    const minijson::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::set<std::string> cats;
+    double last_ts = 0.0;
+    std::size_t timed = 0;
+    for (const minijson::Value &ev : events->array) {
+        const minijson::Value *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "M")
+            continue; // metadata has no timestamp
+        const minijson::Value *cat = ev.find("cat");
+        const minijson::Value *ts = ev.find("ts");
+        ASSERT_NE(cat, nullptr);
+        ASSERT_NE(ts, nullptr);
+        cats.insert(cat->string);
+        // stop() writes events sorted by timestamp.
+        EXPECT_GE(ts->number, last_ts);
+        last_ts = ts->number;
+        if (ph->string == "X")
+            EXPECT_GE(ev.find("dur")->number, 1.0);
+        ++timed;
+    }
+    EXPECT_GT(timed, 100u) << "a real run should emit plenty of events";
+    EXPECT_TRUE(cats.count("warp")) << "issue/stall spans missing";
+    EXPECT_TRUE(cats.count("assist")) << "assist-warp events missing";
+    EXPECT_TRUE(cats.count("cache")) << "cache events missing";
+    EXPECT_TRUE(cats.count("dram")) << "dram burst events missing";
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CategoryFilterDropsOtherCategories)
+{
+    const std::string path = testing::TempDir() + "caba_filter_trace.json";
+    trace::start(path, trace::kDram);
+    runApp(findApp("PVC"), DesignConfig::caba(), smallOpts());
+    trace::stop();
+
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(readFile(path), &doc));
+    std::size_t dram = 0;
+    for (const minijson::Value &ev : doc.find("traceEvents")->array) {
+        if (ev.find("ph")->string == "M")
+            continue;
+        EXPECT_EQ(ev.find("cat")->string, "dram");
+        ++dram;
+    }
+    EXPECT_GT(dram, 0u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, TracingDoesNotPerturbSimulation)
+{
+    const ExperimentOptions opts = smallOpts();
+    const RunResult plain = runApp(findApp("PVC"), DesignConfig::caba(),
+                                   opts);
+
+    const std::string path = testing::TempDir() + "caba_perturb_trace.json";
+    trace::start(path);
+    const RunResult traced = runApp(findApp("PVC"), DesignConfig::caba(),
+                                    opts);
+    trace::stop();
+
+    EXPECT_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.instructions, traced.instructions);
+    EXPECT_EQ(plain.stats.all(), traced.stats.all());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace caba
