@@ -33,6 +33,7 @@ usage()
         "  --bw F          off-chip bandwidth scale (default 1.0)\n"
         "  --scale F       loop-trip multiplier (default 1.0)\n"
         "  --md-kb N       MD cache capacity in KB (default 8)\n"
+        "  --warps N       cap resident warps per SM (default: occupancy)\n"
         "  --l1-tags N     L1 compressed-cache tag factor (default 1)\n"
         "  --l2-tags N     L2 compressed-cache tag factor (default 1)\n"
         "  --verify        round-trip-check every compressed line\n"
@@ -79,6 +80,8 @@ main(int argc, char **argv)
         else if (arg == "--scale") opts.scale = std::atof(next().c_str());
         else if (arg == "--md-kb")
             opts.md_cache_kb = std::atoi(next().c_str());
+        else if (arg == "--warps")
+            opts.max_warps = std::atoi(next().c_str());
         else if (arg == "--l1-tags") l1_tags = std::atoi(next().c_str());
         else if (arg == "--l2-tags") l2_tags = std::atoi(next().c_str());
         else if (arg == "--verify") opts.verify = true;

@@ -100,6 +100,25 @@ AssistWarpController::noteIssueSlot(bool used)
     window_filled_ = std::min(window_filled_ + 1, cfg_.throttle_window);
 }
 
+void
+AssistWarpController::skipIdleSlots(std::uint64_t slots)
+{
+    const int w = cfg_.throttle_window;
+    if (slots >= static_cast<std::uint64_t>(w)) {
+        // The whole window is overwritten with idle entries; only the
+        // write position depends on the exact count.
+        std::fill(window_.begin(), window_.end(), 0);
+        window_idle_ = w;
+        window_filled_ = w;
+        window_pos_ = static_cast<int>(
+            (static_cast<std::uint64_t>(window_pos_) + slots) %
+            static_cast<std::uint64_t>(w));
+        return;
+    }
+    for (std::uint64_t i = 0; i < slots; ++i)
+        noteIssueSlot(false);
+}
+
 double
 AssistWarpController::idleFraction() const
 {

@@ -79,6 +79,14 @@ class AssistWarpController
     /** Feeds the utilization monitor: was this issue slot used? */
     void noteIssueSlot(bool used);
 
+    /**
+     * Equivalent to @p slots consecutive noteIssueSlot(false) calls.
+     * Used by quiescence fast-forward: skipped cycles still age the
+     * throttle window exactly as ticked idle cycles would, so the
+     * idle-fraction gate sees the same history either way.
+     */
+    void skipIdleSlots(std::uint64_t slots);
+
     /** Fraction of idle issue slots over the sampling window. */
     double idleFraction() const;
 

@@ -1,0 +1,8 @@
+#include "common/component.h"
+
+namespace caba {
+
+// Out-of-line so the vtable has a home translation unit.
+Clocked::~Clocked() = default;
+
+} // namespace caba

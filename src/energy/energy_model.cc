@@ -33,7 +33,7 @@ computeEnergy(const StatSet &s, Cycle cycles, const EnergyParams &p)
 
     e.l1 = p.l1_access * (n("l1_hits") + n("l1_misses"));
     e.l2 = p.l2_access * (n("l2_hits") + n("l2_misses"));
-    e.xbar = p.xbar_flit * n("xbar_flits");
+    e.xbar = p.xbar_flit * (n("xbar_req_flits") + n("xbar_reply_flits"));
     e.dram = p.dram_burst * n("dram_bursts") +
              p.dram_activate * n("dram_activates") +
              p.dram_static * static_cast<double>(cycles);

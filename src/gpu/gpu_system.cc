@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/log.h"
 
@@ -17,6 +18,15 @@ scaledDram(DramConfig dram, double bw_scale)
     const double q = static_cast<double>(dram.burst_quarters) / bw_scale;
     dram.burst_quarters = std::max(1, static_cast<int>(std::lround(q)));
     return dram;
+}
+
+/** CABA_NO_FASTFORWARD=<anything> forces cycle-by-cycle execution (the
+ *  CI determinism smoke test diffs both modes). Read once. */
+bool
+noFastForwardEnv()
+{
+    static const bool set = std::getenv("CABA_NO_FASTFORWARD") != nullptr;
+    return set;
 }
 
 } // namespace
@@ -46,6 +56,37 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
         partitions_.push_back(std::make_unique<MemoryPartition>(
             i, pcfg, design_, model_.get()));
     }
+
+    // 256-byte partition interleave on the request side; replies return
+    // to their originating SM.
+    req_net_.setRouter(
+        [this](const MemRequest &r) { return partitionOf(r.line); });
+    reply_net_.setRouter([](const MemRequest &r) { return r.src_sm; });
+
+    // Wire order IS the drain order of the former moveTraffic() loops:
+    // SM out-queues feed the request crossbar; each partition drains its
+    // crossbar output, then pushes replies; the reply crossbar fans back
+    // out to the SMs.
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        SmCore &sm = *sms_[static_cast<std::size_t>(s)];
+        wires_.push_back({&sm.out(), &req_net_.input(s)});
+    }
+    for (int p = 0; p < cfg_.num_partitions; ++p) {
+        MemoryPartition &part = *partitions_[static_cast<std::size_t>(p)];
+        wires_.push_back({&req_net_.output(p), &part});
+        wires_.push_back({&part.replies(), &reply_net_.input(p)});
+    }
+    for (int s = 0; s < cfg_.num_sms; ++s) {
+        SmCore &sm = *sms_[static_cast<std::size_t>(s)];
+        wires_.push_back({&reply_net_.output(s), &sm});
+    }
+
+    for (auto &sm : sms_)
+        clocked_.push_back(sm.get());
+    clocked_.push_back(&req_net_);
+    clocked_.push_back(&reply_net_);
+    for (auto &part : partitions_)
+        clocked_.push_back(part.get());
 }
 
 void
@@ -69,32 +110,8 @@ GpuSystem::partitionOf(Addr line) const
 void
 GpuSystem::moveTraffic()
 {
-    // SM request queues -> request crossbar.
-    for (int s = 0; s < cfg_.num_sms; ++s) {
-        SmCore &sm = *sms_[static_cast<std::size_t>(s)];
-        while (sm.hasOutgoing() && req_net_.canPush(s)) {
-            const int dest = partitionOf(sm.peekOutgoing().line);
-            req_net_.push(s, dest, sm.popOutgoing());
-        }
-    }
-    // Request crossbar deliveries -> partitions (with backpressure).
-    for (int p = 0; p < cfg_.num_partitions; ++p) {
-        MemoryPartition &part = *partitions_[static_cast<std::size_t>(p)];
-        while (req_net_.hasDelivery(p, now_) && part.canAccept())
-            part.accept(req_net_.popDelivery(p), now_);
-        // Partition replies -> reply crossbar.
-        while (!part.replies().empty() && reply_net_.canPush(p)) {
-            const MemRequest reply = part.replies().front();
-            part.replies().pop_front();
-            reply_net_.push(p, reply.src_sm, reply);
-        }
-    }
-    // Reply crossbar deliveries -> SM fills.
-    for (int s = 0; s < cfg_.num_sms; ++s) {
-        while (reply_net_.hasDelivery(s, now_))
-            sms_[static_cast<std::size_t>(s)]->deliver(
-                reply_net_.popDelivery(s), now_);
-    }
+    for (Wire<MemRequest> &w : wires_)
+        w.pump(now_);
 }
 
 void
@@ -113,28 +130,68 @@ GpuSystem::step()
 bool
 GpuSystem::done() const
 {
-    for (const auto &sm : sms_)
-        if (!sm->done())
-            return false;
-    if (req_net_.busy() || reply_net_.busy())
-        return false;
-    for (const auto &part : partitions_)
-        if (part->busy())
+    for (const Clocked *c : clocked_)
+        if (c->busy())
             return false;
     return true;
+}
+
+void
+GpuSystem::fastForward()
+{
+    // The skip is sound because nextWork() is conservative: any
+    // component that could change state (or merely bump a counter) at
+    // now_ reports now_, and moveTraffic() is provably a no-op while
+    // every queue either is empty or cannot drain.
+    Cycle wake = cfg_.max_cycles;
+    for (const Clocked *c : clocked_) {
+        const Cycle w = c->nextWork(now_);
+        if (w <= now_)
+            return;
+        wake = std::min(wake, w);
+    }
+    if (wake <= now_)
+        return;
+    // Even with every component quiescent, a wire that can move a
+    // packet makes the next moveTraffic() a state change.
+    for (const Wire<MemRequest> &w : wires_)
+        if (w.canPump(now_))
+            return;
+    for (Clocked *c : clocked_)
+        c->skipIdle(now_, wake);
+
+    // Emit the timeline samples the skipped cycles would have produced
+    // (counters are frozen across the span, so sampling mid-skip reads
+    // the same values a ticked run would).
+    Cycle k = wake - now_;
+    if (cfg_.sample_interval > 0) {
+        while (until_sample_ <= k) {
+            now_ += until_sample_;
+            k -= until_sample_;
+            until_sample_ = cfg_.sample_interval;
+            timeline_.push_back(sampleNow());
+        }
+        until_sample_ -= k;
+    }
+    now_ += k;
+    // Same wedge detection, same boundary, as the ticked loop.
+    CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
 }
 
 RunResult
 GpuSystem::run()
 {
+    const bool ff = cfg_.fast_forward && !noFastForwardEnv();
     // Timeline sampling (counter-based rather than now_ % interval so a
     // mid-run caller of step() cannot desynchronize the cadence).
-    Cycle until_sample = cfg_.sample_interval;
+    until_sample_ = cfg_.sample_interval;
     while (!done()) {
+        if (ff)
+            fastForward();
         step();
         CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
-        if (cfg_.sample_interval > 0 && --until_sample == 0) {
-            until_sample = cfg_.sample_interval;
+        if (cfg_.sample_interval > 0 && --until_sample_ == 0) {
+            until_sample_ = cfg_.sample_interval;
             timeline_.push_back(sampleNow());
         }
     }
@@ -180,22 +237,22 @@ GpuSystem::collect() const
     }
 
     double bw = 0.0;
-    double md_hits = 0.0, md_total = 0.0;
     for (const auto &part : partitions_) {
         bw += part->dramBusUtilization(r.cycles);
         merge_prefixed(part->stats(), "part_");
         merge_prefixed(part->l2().stats(), "l2_");
         merge_prefixed(part->dram().stats(), "dram_");
-        md_hits += static_cast<double>(part->mdCache().stats().get("hits"));
-        md_total +=
-            static_cast<double>(part->mdCache().stats().get("hits") +
-                                part->mdCache().stats().get("misses"));
+        merge_prefixed(part->mdCache().stats(), "md_");
     }
     r.bw_utilization = bw / static_cast<double>(cfg_.num_partitions);
+
+    const double md_hits = static_cast<double>(r.stats.get("md_hits"));
+    const double md_total =
+        md_hits + static_cast<double>(r.stats.get("md_misses"));
     r.md_hit_rate = md_total > 0.0 ? md_hits / md_total : 0.0;
 
-    merge_prefixed(req_net_.stats(), "xbar_");
-    merge_prefixed(reply_net_.stats(), "xbar_");
+    merge_prefixed(req_net_.stats(), "xbar_req_");
+    merge_prefixed(reply_net_.stats(), "xbar_reply_");
 
     if (model_)
         merge_prefixed(model_->stats(), "model_");

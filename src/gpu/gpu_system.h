@@ -4,6 +4,15 @@
  * memory partitions (L2 slice + GDDR5 channel each), the shared
  * compression model, and the run loop that advances everything one core
  * cycle at a time and aggregates the statistics every figure needs.
+ *
+ * The components are plumbed together as typed port bindings: each
+ * SM out-queue, crossbar port and partition reply queue exposes a
+ * Source/Sink face, and GpuSystem just pumps a fixed list of wires per
+ * cycle. Because everything is Clocked, the run loop can also
+ * fast-forward through quiescent stretches (all warps blocked on
+ * memory, nothing movable anywhere) — with bit-identical results; set
+ * CABA_NO_FASTFORWARD=1 (or GpuConfig::fast_forward = false) to force
+ * cycle-by-cycle execution.
  */
 #ifndef CABA_GPU_GPU_SYSTEM_H
 #define CABA_GPU_GPU_SYSTEM_H
@@ -12,6 +21,7 @@
 #include <vector>
 
 #include "caba/aws.h"
+#include "common/component.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
 #include "gpu/design.h"
@@ -43,6 +53,13 @@ struct GpuConfig
 
     /** Round-trip-verify every compressed line (tests on, benches off). */
     bool verify_data = true;
+
+    /**
+     * Skip ahead over cycles in which no component can make progress
+     * (guaranteed bit-identical results; the CABA_NO_FASTFORWARD
+     * environment variable also disables it for A/B checks).
+     */
+    bool fast_forward = true;
 
     /** Safety valve against a wedged simulation. */
     Cycle max_cycles = 20'000'000;
@@ -108,6 +125,15 @@ class GpuSystem
   private:
     int partitionOf(Addr line) const;
     void moveTraffic();
+
+    /**
+     * Jumps now_ to the earliest cycle any component reports work,
+     * charging the skipped span to each component's idle accounting
+     * (and emitting any timeline samples that fall inside it). A no-op
+     * when some component has work this cycle.
+     */
+    void fastForward();
+
     RunResult collect() const;
     TimeSample sampleNow() const;
 
@@ -120,7 +146,17 @@ class GpuSystem
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     XbarDirection req_net_;
     XbarDirection reply_net_;
+
+    /** Port bindings pumped by moveTraffic(), in drain order: SM out ->
+     *  request crossbar, crossbar -> partition, partition replies ->
+     *  reply crossbar, reply crossbar -> SM. */
+    std::vector<Wire<MemRequest>> wires_;
+
+    /** Every clocked component (for done() and fast-forward). */
+    std::vector<Clocked *> clocked_;
+
     Cycle now_ = 0;
+    Cycle until_sample_ = 0;    ///< run()'s sampling countdown.
     std::vector<TimeSample> timeline_;
 };
 

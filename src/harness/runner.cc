@@ -55,6 +55,8 @@ runApp(const AppDescriptor &app, const DesignConfig &design,
         // the free pool.
         const int assist = design.usesCaba() ? opts.assist_regs : 0;
         warps = wl->warpsPerSm(assist, cfg.sm.max_warps);
+        if (opts.max_warps > 0 && warps > opts.max_warps)
+            warps = opts.max_warps;
         wl->bindGrid(warps * cfg.num_sms);
         gpu.emplace(cfg, design, wl->lineGenerator());
     }

@@ -42,6 +42,11 @@ struct ExperimentOptions
     /** MD cache capacity in KB (Section 4.3.2 study). */
     int md_cache_kb = 8;
 
+    /** Cap on resident warps per SM; 0 keeps the occupancy-derived
+     *  count. Occupancy studies (and quiescence-sensitive runs, where
+     *  low occupancy opens fast-forwardable stall windows) lower it. */
+    int max_warps = 0;
+
     /**
      * Sweep worker threads: 0 = auto (CABA_JOBS env var, else
      * hardware_concurrency), 1 = serial, N = exactly N workers.

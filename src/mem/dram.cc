@@ -273,6 +273,81 @@ DramChannel::cycle(Cycle now)
         ++sched_no_eligible_;
 }
 
+Cycle
+DramChannel::nextWork(Cycle now) const
+{
+    Cycle e = kNoWork;
+    // Queued completions become partition work at their finish time.
+    for (const DramCompletion &c : completed_)
+        e = std::min(e, c.finish > now ? c.finish : now);
+    if (read_q_.empty() && write_q_.empty())
+        return e;
+    if (static_cast<int>(completed_.size()) >= cfg_.banks + 8)
+        return e;   // scheduler blocked until a completion drains
+    // Replicate activeQueue()'s hysteresis without mutating it. With
+    // static queues the drain flag reaches a fixpoint after one update;
+    // if a second update disagrees it oscillates cycle-to-cycle (empty
+    // read queue, small write backlog) and no cycle is skippable.
+    auto drain_step = [this](bool d) {
+        if (d) {
+            if (static_cast<int>(write_q_.size()) <= cfg_.write_drain_low ||
+                write_q_.empty()) {
+                d = false;
+            }
+        } else {
+            if (static_cast<int>(write_q_.size()) >= cfg_.write_drain_high ||
+                read_q_.empty()) {
+                d = true;
+            }
+        }
+        return d;
+    };
+    const bool d1 = drain_step(draining_writes_);
+    if (drain_step(d1) != d1)
+        return now;
+    const std::deque<DramCmd> &q =
+        (d1 && !write_q_.empty()) ? write_q_ : read_q_;
+    if (pickAct(q) >= 0)
+        return now;     // activation eligibility is time-independent
+    // No activation possible: the next issue is the earliest CAS whose
+    // bank timing gates clear. pickCas scans both queues (active +
+    // opportunistic), so so does the bound.
+    auto earliest_cas = [this, now](const std::deque<DramCmd> &cq,
+                                    Cycle bound) {
+        for (const DramCmd &c : cq) {
+            const Bank &b =
+                banks_[static_cast<std::size_t>(bankOf(c.line))];
+            if (b.open_row != rowOf(c.line))
+                continue;
+            Cycle t = std::max(b.col_ready, b.act_done);
+            if (!c.is_write)
+                t = std::max(t, b.wtr_ready);
+            bound = std::min(bound, t > now ? t : now);
+        }
+        return bound;
+    };
+    e = earliest_cas(read_q_, e);
+    e = earliest_cas(write_q_, e);
+    return e;
+}
+
+void
+DramChannel::skipIdle(Cycle from, Cycle to)
+{
+    // Matches what cycle() would have counted on each skipped cycle:
+    // nothing when fully idle, the in-flight-cap stall when completions
+    // back up, the no-eligible-command stall otherwise. The write-drain
+    // flag is left alone: nextWork() only permits a skip when it is at
+    // its fixpoint for the current queue state.
+    if (read_q_.empty() && write_q_.empty())
+        return;
+    const std::uint64_t k = to - from;
+    if (static_cast<int>(completed_.size()) >= cfg_.banks + 8)
+        sched_blocked_cap_ += k;
+    else
+        sched_no_eligible_ += k;
+}
+
 void
 DramChannel::drainCompleted(Cycle now, std::vector<DramCompletion> *out)
 {

@@ -18,6 +18,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/component.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -96,7 +97,7 @@ struct DramCompletion
 };
 
 /** One GDDR5 channel. */
-class DramChannel
+class DramChannel : public Clocked
 {
   public:
     /** @p id names the channel in trace output (partition index). */
@@ -109,13 +110,22 @@ class DramChannel
     void enqueue(DramCmd cmd);
 
     /** Advances one core cycle; issues at most one command. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
+
+    /**
+     * Earliest cycle the scheduler could issue a command or a queued
+     * completion becomes drainable (kNoWork when fully drained).
+     */
+    Cycle nextWork(Cycle now) const override;
+
+    /** Charges the scheduler-stall counters for skipped cycles. */
+    void skipIdle(Cycle from, Cycle to) override;
 
     /** Moves completions whose finish time has passed into @p out. */
     void drainCompleted(Cycle now, std::vector<DramCompletion> *out);
 
     bool
-    busy() const
+    busy() const override
     {
         return !read_q_.empty() || !write_q_.empty() || !completed_.empty();
     }

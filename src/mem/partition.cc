@@ -271,9 +271,40 @@ MemoryPartition::cycle(Cycle now)
 
     // Release replies whose MC-side latency elapsed.
     while (!reply_wait_.empty() && reply_wait_.front().first <= now) {
-        replies_.push_back(reply_wait_.front().second);
+        replies_.push(reply_wait_.front().second);
         reply_wait_.pop_front();
     }
+}
+
+Cycle
+MemoryPartition::nextWork(Cycle now) const
+{
+    if (!replies_.empty())
+        return now;     // ready for the reply crossbar
+    if ((!writeback_stalled_.empty() && dram_.canAccept(true)) ||
+        (!dram_stalled_.empty() && dram_.canAccept(false))) {
+        return now;     // a stalled command can retry
+    }
+    Cycle e = dram_.nextWork(now);
+    // Both pipes release their heads in order, so only the fronts gate.
+    if (!l2_pipe_.empty()) {
+        const Cycle t = l2_pipe_.front().first;
+        e = std::min(e, t > now ? t : now);
+    }
+    if (!reply_wait_.empty()) {
+        const Cycle t = reply_wait_.front().first;
+        e = std::min(e, t > now ? t : now);
+    }
+    return e;
+}
+
+void
+MemoryPartition::skipIdle(Cycle from, Cycle to)
+{
+    // During a skip no completion drains, no retry fires, and no pipe
+    // head releases (nextWork() bounds all of them), so the per-cycle
+    // path would have touched nothing but the DRAM scheduler counters.
+    dram_.skipIdle(from, to);
 }
 
 StatSet

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/component.h"
 #include "common/stats.h"
 #include "gpu/design.h"
 #include "mem/cache.h"
@@ -54,27 +55,36 @@ struct PartitionConfig
     int reply_queue = 32;
 };
 
-/** L2 slice + memory controller + DRAM channel. */
-class MemoryPartition
+/** L2 slice + memory controller + DRAM channel. Its Sink face is the
+ *  ingress the request crossbar's output port is wired to. */
+class MemoryPartition : public Clocked, public Sink<MemRequest>
 {
   public:
     MemoryPartition(int id, const PartitionConfig &cfg,
                     const DesignConfig &design, CompressionModel *model);
 
     /** True when a request delivered by the crossbar can be taken. */
-    bool canAccept() const;
+    bool canAccept() const override;
 
     /** Hands over one request (read or store). */
-    void accept(const MemRequest &req, Cycle now);
+    void accept(const MemRequest &req, Cycle now) override;
 
     /** Advances one core cycle. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
 
     /** Read replies ready for the reply crossbar (drained by GpuSystem). */
-    std::deque<MemRequest> &replies() { return replies_; }
+    Channel<MemRequest> &replies() { return replies_; }
 
     /** True while any request, DRAM command or reply is in flight. */
-    bool busy() const;
+    bool busy() const override;
+
+    /** Earliest cycle any pipe releases, retry unblocks, or the DRAM
+     *  channel can act. */
+    Cycle nextWork(Cycle now) const override;
+
+    /** Forwards skipped-cycle accounting to the DRAM scheduler (the
+     *  only partition piece that counts idle cycles). */
+    void skipIdle(Cycle from, Cycle to) override;
 
     double dramBusUtilization(Cycle elapsed) const;
 
@@ -137,7 +147,7 @@ class MemoryPartition
     /** Replies delayed by MC-side codec latency: (ready_at, reply). */
     std::deque<std::pair<Cycle, MemRequest>> reply_wait_;
 
-    std::deque<MemRequest> replies_;
+    Channel<MemRequest> replies_;
     std::uint64_t next_dram_id_ = 1;
 
     /** Hot-path counters (assembled into a StatSet by stats()). */

@@ -12,9 +12,38 @@ XbarDirection::XbarDirection(int inputs, int outputs, const XbarConfig &cfg,
     : cfg_(cfg), inputs_(inputs), outputs_(outputs),
       trace_tid_base_(trace_tid_base),
       in_q_(inputs), port_busy_until_(outputs, 0), rr_(outputs, 0),
-      out_q_(outputs), flying_per_out_(outputs, 0)
+      out_q_(outputs), flying_per_out_(outputs, 0),
+      in_ports_(static_cast<std::size_t>(inputs)),
+      out_ports_(static_cast<std::size_t>(outputs))
 {
     CABA_CHECK(inputs > 0 && outputs > 0, "bad crossbar geometry");
+    for (int i = 0; i < inputs; ++i) {
+        in_ports_[static_cast<std::size_t>(i)].x_ = this;
+        in_ports_[static_cast<std::size_t>(i)].in_ = i;
+    }
+    for (int o = 0; o < outputs; ++o) {
+        out_ports_[static_cast<std::size_t>(o)].x_ = this;
+        out_ports_[static_cast<std::size_t>(o)].out_ = o;
+    }
+}
+
+void
+XbarDirection::setRouter(std::function<int(const MemRequest &)> router)
+{
+    router_ = std::move(router);
+}
+
+Sink<MemRequest> &
+XbarDirection::input(int in)
+{
+    CABA_CHECK(router_ != nullptr, "crossbar input used without a router");
+    return in_ports_[static_cast<std::size_t>(in)];
+}
+
+Source<MemRequest> &
+XbarDirection::output(int out)
+{
+    return out_ports_[static_cast<std::size_t>(out)];
 }
 
 bool
@@ -106,6 +135,38 @@ int
 XbarDirection::outputDepth(int out) const
 {
     return static_cast<int>(out_q_[out].size());
+}
+
+Cycle
+XbarDirection::nextWork(Cycle now) const
+{
+    // Delivered packets waiting in an output queue pin the clock: the
+    // consumer-side Wire drains them the very next moveTraffic(), and
+    // even under backpressure the consumer's unblock cycle is cheaper
+    // to over-approximate here than to predict.
+    for (const auto &q : out_q_)
+        if (!q.empty())
+            return now;
+    Cycle e = kNoWork;
+    for (const InFlight &f : flying_)
+        e = std::min(e, f.deliver_at > now ? f.deliver_at : now);
+    for (const auto &q : in_q_) {
+        if (q.empty())
+            continue;
+        const int out = q.front().first;
+        // A full destination (queued + flying >= capacity) unblocks via
+        // the flying_ term above or the ready-delivery case; otherwise
+        // the head packet can start once the port frees up.
+        if (static_cast<int>(out_q_[static_cast<std::size_t>(out)].size()) +
+                flying_per_out_[static_cast<std::size_t>(out)] >=
+            cfg_.output_queue) {
+            continue;
+        }
+        const Cycle free_at =
+            port_busy_until_[static_cast<std::size_t>(out)];
+        e = std::min(e, free_at > now ? free_at : now);
+    }
+    return e;
 }
 
 bool

@@ -9,8 +9,10 @@
 #define CABA_MEM_XBAR_H
 
 #include <deque>
+#include <functional>
 #include <vector>
 
+#include "common/component.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/request.h"
@@ -30,7 +32,7 @@ struct XbarConfig
  * output ports, per-output round-robin arbitration at packet
  * granularity, output-port occupancy proportional to flit count.
  */
-class XbarDirection
+class XbarDirection : public Clocked
 {
   public:
     /** @p trace_tid_base offsets output-port tids in trace output so
@@ -45,7 +47,7 @@ class XbarDirection
     void push(int in, int out, const MemRequest &req);
 
     /** Advances one cycle: arbitration + transfers. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
 
     /** True when output @p out has a delivered packet ready. */
     bool hasDelivery(int out, Cycle now) const;
@@ -56,11 +58,61 @@ class XbarDirection
     /** Number of packets queued at output @p out (for backpressure). */
     int outputDepth(int out) const;
 
-    bool busy() const;
+    bool busy() const override;
+
+    /**
+     * Earliest cycle a delivery becomes ready, an in-flight packet
+     * lands, or a queued packet can win its output port.
+     */
+    Cycle nextWork(Cycle now) const override;
 
     const StatSet &stats() const { return stats_; }
 
+    /** Destination output port for a packet entering any input (set
+     *  once at wiring time: partition interleave / reply routing). */
+    void setRouter(std::function<int(const MemRequest &)> router);
+
+    /** Sink view of input port @p in: accept() routes via the router. */
+    Sink<MemRequest> &input(int in);
+
+    /** Source view of output port @p out's ready deliveries. */
+    Source<MemRequest> &output(int out);
+
   private:
+    class InPort : public Sink<MemRequest>
+    {
+      public:
+        bool canAccept() const override { return x_->canPush(in_); }
+
+        void
+        accept(const MemRequest &pkt, Cycle) override
+        {
+            x_->push(in_, x_->router_(pkt), pkt);
+        }
+
+      private:
+        friend class XbarDirection;
+        XbarDirection *x_ = nullptr;
+        int in_ = 0;
+    };
+
+    class OutPort : public Source<MemRequest>
+    {
+      public:
+        bool
+        hasData(Cycle now) const override
+        {
+            return x_->hasDelivery(out_, now);
+        }
+
+        MemRequest take() override { return x_->popDelivery(out_); }
+
+      private:
+        friend class XbarDirection;
+        XbarDirection *x_ = nullptr;
+        int out_ = 0;
+    };
+
     struct InFlight
     {
         MemRequest req;
@@ -86,6 +138,9 @@ class XbarDirection
     std::vector<int> flying_per_out_;
     int queued_packets_ = 0;
     StatSet stats_;
+    std::function<int(const MemRequest &)> router_;
+    std::vector<InPort> in_ports_;
+    std::vector<OutPort> out_ports_;
 };
 
 } // namespace caba

@@ -36,15 +36,14 @@ SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
                BackingStore *backing)
     : id_(id), cfg_(cfg), design_(design), extras_(extras), aws_(aws),
       model_(model), backing_(backing),
-      l1_({cfg.l1.size_bytes, cfg.l1.assoc, design.l1_tag_factor}),
       awc_(caba_cfg),
       rng_(0xC0FFEEull + static_cast<std::uint64_t>(id) * 7919),
-      ring_(kRingSize),
-      greedy_warp_(static_cast<std::size_t>(cfg.schedulers), kInvalidWarp),
-      decode_rr_(static_cast<std::size_t>(cfg.schedulers), 0),
-      lrr_next_(static_cast<std::size_t>(cfg.schedulers), 0)
+      sched_(cfg.max_warps, cfg.schedulers, cfg.ibuffer_entries,
+             cfg.decode_width, cfg.gto),
+      ldst_(id, cfg, {cfg.l1.size_bytes, cfg.l1.assoc, design.l1_tag_factor},
+            this),
+      ring_(kRingSize)
 {
-    CABA_CHECK(cfg_.schedulers >= 1, "need at least one scheduler");
     CABA_CHECK(cfg_.alu_latency < kRingSize &&
                cfg_.sfu_latency < kRingSize &&
                cfg_.shmem_latency < kRingSize &&
@@ -54,32 +53,16 @@ SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
         CABA_CHECK(model_, "compressed design needs a compression model");
         CABA_CHECK(aws_, "CABA design needs an assist warp store");
     }
-    warps_.resize(static_cast<std::size_t>(cfg_.max_warps));
-    loads_.resize(static_cast<std::size_t>(cfg_.max_warps) * 8);
-    for (int i = static_cast<int>(loads_.size()) - 1; i >= 0; --i)
-        free_load_slots_.push_back(i);
 }
 
 void
 SmCore::launch(const KernelInfo *kernel, int num_warps, int warp_global_base,
                int warp_global_stride)
 {
-    CABA_CHECK(kernel, "null kernel");
-    CABA_CHECK(num_warps > 0 && num_warps <= cfg_.max_warps,
-               "bad warp count for launch");
-    CABA_CHECK(kernel->program().numRegs() <= 64,
-               "scoreboard supports at most 64 registers per thread");
+    sched_.launch(kernel, num_warps, warp_global_base, warp_global_stride);
     kernel_ = kernel;
-    live_warps_ = num_warps;
     trace::instant(trace::kWarp, trace::kPidSm, id_, "launch", 0, "warps",
                    static_cast<std::uint64_t>(num_warps));
-    for (int w = 0; w < num_warps; ++w) {
-        WarpState &ws = warps_[static_cast<std::size_t>(w)];
-        ws = WarpState{};
-        ws.exists = true;
-        ws.global_id = warp_global_base + w * warp_global_stride;
-        ws.trips_left = std::max(1, kernel->iterations(ws.global_id));
-    }
 }
 
 // ---------------------------------------------------------------- events
@@ -104,16 +87,14 @@ SmCore::processEvents(Cycle now)
     for (const Event &ev : bucket) {
         switch (ev.kind) {
           case Event::Kind::RegWriteback:
-            if (ev.warp != kInvalidWarp)
-                warps_[static_cast<std::size_t>(ev.warp)].pending_regs &=
-                    ~ev.regmask;
+            sched_.clearPending(ev.warp, ev.regmask);
             if (ev.pipe == 1)
                 --alu_inflight_;
             else if (ev.pipe == 2)
                 --sfu_inflight_;
             break;
           case Event::Kind::LoadLineDone:
-            loadLineDone(ev.load_slot);
+            ldst_.loadLineDone(ev.load_slot);
             break;
           case Event::Kind::FillDone:
             completeFill(ev.line, now);
@@ -139,102 +120,90 @@ SmCore::cycle(Cycle now)
     processEvents(now);
     reapAssistWarps(now);
     retryPendingFills(now);
-    drainLdst(now);
-    decodeStage();
+    if (ldst_.drain(now)) {
+        ldst_stalled_this_cycle_ = true;
+        saw_mem_block_ = true;
+    }
+    sched_.decodeCycle();
     issueStage(now);
     classifyCycle(now);
 }
 
-// ------------------------------------------------------------ decode
+// ------------------------------------------------------------ LDST hooks
 
 void
-SmCore::decodeOneWarp(WarpState &w)
-{
-    const Program &prog = kernel_->program();
-    for (int n = 0; n < cfg_.decode_width; ++n) {
-        if (w.decode_done ||
-            static_cast<int>(w.ibuf.size()) >= cfg_.ibuffer_entries) {
-            return;
-        }
-        const Instruction &inst = prog.at(w.pc);
-        w.ibuf.push({&inst, w.iter});
-        if (inst.op == Opcode::Branch) {
-            // Back-edge resolves at decode: trip counters are explicit.
-            --w.trips_left;
-            if (w.trips_left > 0) {
-                w.pc = inst.branch_target;
-                ++w.iter;
-            } else {
-                ++w.pc;
-            }
-        } else if (inst.op == Opcode::Exit) {
-            w.decode_done = true;
-        } else {
-            ++w.pc;
-        }
-    }
-}
-
-void
-SmCore::decodeStage()
-{
-    if (!kernel_)
-        return;
-    for (int s = 0; s < cfg_.schedulers; ++s) {
-        // Round-robin pick of one warp of this scheduler's parity.
-        const int slots = cfg_.max_warps / cfg_.schedulers;
-        for (int k = 0; k < slots; ++k) {
-            const int w = ((decode_rr_[s] + k) % slots) * cfg_.schedulers + s;
-            WarpState &ws = warps_[static_cast<std::size_t>(w)];
-            if (!ws.exists || ws.done || ws.decode_done ||
-                static_cast<int>(ws.ibuf.size()) >= cfg_.ibuffer_entries) {
-                continue;
-            }
-            decodeOneWarp(ws);
-            decode_rr_[s] = (w / cfg_.schedulers + 1) % slots;
-            break;
-        }
-    }
-}
-
-// ------------------------------------------------------------ LDST unit
-
-int
-SmCore::allocLoadSlot(int warp, std::uint64_t regmask, int lines)
-{
-    CABA_CHECK(!free_load_slots_.empty(), "load slot pool exhausted");
-    const int slot = free_load_slots_.back();
-    free_load_slots_.pop_back();
-    PendingLoad &pl = loads_[static_cast<std::size_t>(slot)];
-    pl.active = true;
-    pl.warp = warp;
-    pl.regmask = regmask;
-    pl.lines_left = lines;
-    return slot;
-}
-
-void
-SmCore::loadLineDone(int slot)
-{
-    if (slot < 0)
-        return;
-    PendingLoad &pl = loads_[static_cast<std::size_t>(slot)];
-    CABA_CHECK(pl.active, "completion for dead load");
-    if (--pl.lines_left == 0) {
-        if (pl.warp != kInvalidWarp)
-            warps_[static_cast<std::size_t>(pl.warp)].pending_regs &=
-                ~pl.regmask;
-        pl.active = false;
-        free_load_slots_.push_back(slot);
-    }
-}
-
-void
-SmCore::commitStoreLine(Addr line)
+SmCore::commitStore(Addr line)
 {
     std::uint8_t buf[kLineSize];
     kernel_->outputLine(line, buf);
     backing_->write(line, buf);
+}
+
+bool
+SmCore::onLoadHit(Addr line, int load_slot, Cycle now)
+{
+    if (design_.l1_tag_factor > 1 && design_.usesCaba() &&
+        !model_->lookup(line).isUncompressed()) {
+        // Compressed L1 (Section 6.5): every hit pays a decompression
+        // assist warp. AWT full means the line replays next cycle.
+        return triggerDecompress(line, AssistPurpose::DecompressHit,
+                                 static_cast<std::uint64_t>(load_slot), now);
+    }
+    Event ev;
+    ev.kind = Event::Kind::LoadLineDone;
+    ev.load_slot = load_slot;
+    scheduleEvent(now + cfg_.l1_latency, ev, now);
+    return true;
+}
+
+void
+SmCore::routeStore(Addr line, bool full_line, int warp, Cycle now)
+{
+    if (design_.caba_compress_stores) {
+        // A newer store to a line whose compression is still in flight
+        // supersedes it: kill the stale assist warp (Section 3.4) and
+        // recompress the fresh contents.
+        for (auto it = comp_stores_.begin(); it != comp_stores_.end();) {
+            if (it->second.line == line) {
+                awc_.killByToken(it->first, AssistPurpose::Compress);
+                trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                               "kill_compress", now, "line", line);
+                it = comp_stores_.erase(it);
+                stats_add_store_kill_ += 1;
+            } else {
+                ++it;
+            }
+        }
+        if (static_cast<int>(comp_stores_.size()) <
+                awc_.config().store_buffer &&
+            awc_.hasRoom()) {
+            const std::uint64_t token = next_store_token_++;
+            comp_stores_[token] = {line, full_line};
+            AssistWarp aw;
+            aw.parent_warp = warp;
+            aw.priority = awc_.config().compress_low_priority
+                ? AssistPriority::Low : AssistPriority::High;
+            aw.purpose = AssistPurpose::Compress;
+            aw.code = &aws_->compressRoutine(getCodec(design_.algo));
+            aw.line = line;
+            aw.token = token;
+            aw.spawned = now;
+            const bool ok = awc_.trigger(std::move(aw));
+            CABA_CHECK(ok, "AWT trigger failed despite hasRoom");
+            trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                           "spawn_compress", now, "line", line);
+            ++n_.stores_buffered;
+        } else {
+            // Buffer overflow: release uncompressed (Section 4.2.2,
+            // step 4).
+            ++n_.store_buffer_overflows;
+            emitStoreRequest(line, full_line, false);
+        }
+    } else {
+        const bool hw_compress =
+            design_.xbar_compressed && design_.usesCompression();
+        emitStoreRequest(line, full_line, hw_compress);
+    }
 }
 
 void
@@ -258,7 +227,7 @@ SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok)
         req.payload_bytes = kLineSize;
         ++n_.stores_sent_uncompressed;
     }
-    out_req_.push_back(req);
+    ldst_.out().push(req);
 }
 
 bool
@@ -308,150 +277,6 @@ SmCore::maybePrefetch(Addr line, int stream, Cycle now)
     }
 }
 
-void
-SmCore::drainLdst(Cycle now)
-{
-    if (!ldst_.busy)
-        return;
-    for (int n = 0; n < cfg_.lines_per_cycle; ++n) {
-        if (ldst_.cursor >= ldst_.access.lines.size()) {
-            ldst_.busy = false;
-            return;
-        }
-        const Addr line = ldst_.access.lines[ldst_.cursor];
-        if (!ldst_.is_store) {
-            // ---- load line ----
-            // Probe without counting first so replayed lines do not
-            // inflate hit/miss statistics or churn LRU state.
-            if (!l1_.contains(line)) {
-                if (trace::on(trace::kCache)) {
-                    trace::instant(trace::kCache, trace::kPidCache, id_,
-                                   "l1_miss", now, "line", line);
-                }
-                auto it = mshrs_.find(line);
-                if (it != mshrs_.end()) {
-                    l1_.access(line);   // counts the miss
-                    it->second.push_back(ldst_.load_slot);
-                    ++n_.l1_load_misses;
-                    ++n_.mshr_merges;
-                    ++ldst_.cursor;
-                    continue;
-                }
-                if (static_cast<int>(mshrs_.size()) >= cfg_.mshr_entries ||
-                    static_cast<int>(out_req_.size()) >= cfg_.out_queue) {
-                    ldst_stalled_this_cycle_ = true;
-                    saw_mem_block_ = true;
-                    return;         // structural memory stall; replay
-                }
-                l1_.access(line);       // counts the miss
-                ++n_.l1_load_misses;
-                mshrs_[line] = {ldst_.load_slot};
-                MemRequest req;
-                req.id = next_req_id_++;
-                req.line = line;
-                req.is_write = false;
-                req.src_sm = id_;
-                req.warp = ldst_.warp;
-                req.created = now;
-                req.payload_bytes = 8;  // read request header
-                out_req_.push_back(req);
-                ++ldst_.cursor;
-                continue;
-            }
-            if (l1_.access(line)) {
-                ++n_.l1_load_hits;
-                if (trace::on(trace::kCache)) {
-                    trace::instant(trace::kCache, trace::kPidCache, id_,
-                                   "l1_hit", now, "line", line);
-                }
-                if (design_.l1_tag_factor > 1 && design_.usesCaba() &&
-                    !model_->lookup(line).isUncompressed()) {
-                    // Compressed L1 (Section 6.5): every hit pays a
-                    // decompression assist warp.
-                    if (!triggerDecompress(
-                            line, AssistPurpose::DecompressHit,
-                            static_cast<std::uint64_t>(ldst_.load_slot),
-                            now)) {
-                        ldst_stalled_this_cycle_ = true;
-                        saw_mem_block_ = true;
-                        return;     // AWT full: retry this line next cycle
-                    }
-                } else {
-                    Event ev;
-                    ev.kind = Event::Kind::LoadLineDone;
-                    ev.load_slot = ldst_.load_slot;
-                    scheduleEvent(now + cfg_.l1_latency, ev, now);
-                }
-                ++ldst_.cursor;
-                continue;
-            }
-            CABA_PANIC("L1 probe/access disagreement");
-        } else {
-            // ---- store line ----
-            if (static_cast<int>(out_req_.size()) >= cfg_.out_queue) {
-                ldst_stalled_this_cycle_ = true;
-                saw_mem_block_ = true;
-                return;
-            }
-            commitStoreLine(line);
-            // L1 is write-evict for global stores.
-            Eviction ev;
-            l1_.invalidate(line, &ev);
-
-            if (design_.caba_compress_stores) {
-                // A newer store to a line whose compression is still in
-                // flight supersedes it: kill the stale assist warp
-                // (Section 3.4) and recompress the fresh contents.
-                for (auto it = comp_stores_.begin();
-                     it != comp_stores_.end();) {
-                    if (it->second.line == line) {
-                        awc_.killByToken(it->first, AssistPurpose::Compress);
-                        trace::instant(trace::kAssistWarp, trace::kPidAssist,
-                                       id_, "kill_compress", now, "line",
-                                       line);
-                        it = comp_stores_.erase(it);
-                        stats_add_store_kill_ += 1;
-                    } else {
-                        ++it;
-                    }
-                }
-                if (static_cast<int>(comp_stores_.size()) <
-                        awc_.config().store_buffer &&
-                    awc_.hasRoom()) {
-                    const std::uint64_t token = next_store_token_++;
-                    comp_stores_[token] = {line, ldst_.access.full_line};
-                    AssistWarp aw;
-                    aw.parent_warp = ldst_.warp;
-                    aw.priority = awc_.config().compress_low_priority
-                        ? AssistPriority::Low : AssistPriority::High;
-                    aw.purpose = AssistPurpose::Compress;
-                    aw.code = &aws_->compressRoutine(getCodec(design_.algo));
-                    aw.line = line;
-                    aw.token = token;
-                    aw.spawned = now;
-                    const bool ok = awc_.trigger(std::move(aw));
-                    CABA_CHECK(ok, "AWT trigger failed despite hasRoom");
-                    trace::instant(trace::kAssistWarp, trace::kPidAssist,
-                                   id_, "spawn_compress", now, "line", line);
-                    ++n_.stores_buffered;
-                } else {
-                    // Buffer overflow: release uncompressed (Section
-                    // 4.2.2, step 4).
-                    ++n_.store_buffer_overflows;
-                    emitStoreRequest(line, ldst_.access.full_line, false);
-                }
-            } else {
-                const bool hw_compress =
-                    design_.xbar_compressed && design_.usesCompression();
-                emitStoreRequest(line, ldst_.access.full_line, hw_compress);
-            }
-            ++ldst_.cursor;
-        }
-    }
-    if (ldst_.cursor >= ldst_.access.lines.size())
-        ldst_.busy = false;
-}
-
 // ------------------------------------------------------------ CABA hooks
 
 void
@@ -476,7 +301,7 @@ SmCore::reapAssistWarps(Cycle now)
             break;
           case AssistPurpose::DecompressHit:
             ++n_.caba_hit_decompressions;
-            loadLineDone(static_cast<int>(aw.token));
+            ldst_.loadLineDone(static_cast<int>(aw.token));
             break;
           case AssistPurpose::Compress: {
             ++n_.caba_compressions;
@@ -487,27 +312,15 @@ SmCore::reapAssistWarps(Cycle now)
             break;
           }
           case AssistPurpose::Memoize:
-            
+
             break;
-          case AssistPurpose::Prefetch: {
+          case AssistPurpose::Prefetch:
             // Issue the prefetch if it is useful and resources allow.
-            const Addr line = aw.line;
-            if (!l1_.contains(line) && !mshrs_.count(line) &&
-                static_cast<int>(mshrs_.size()) < cfg_.mshr_entries &&
-                static_cast<int>(out_req_.size()) < cfg_.out_queue) {
-                mshrs_[line] = {};      // fill with no waiters
-                MemRequest req;
-                req.id = next_req_id_++;
-                req.line = line;
-                req.src_sm = id_;
-                req.payload_bytes = 8;
-                out_req_.push_back(req);
+            if (ldst_.issuePrefetch(aw.line))
                 ++n_.prefetches_issued;
-            } else {
+            else
                 ++n_.prefetches_dropped;
-            }
             break;
-          }
         }
     }
 }
@@ -529,14 +342,7 @@ SmCore::completeFill(Addr line, Cycle now)
     (void)now;
     const int bytes = design_.l1_tag_factor > 1
         ? model_->compressedSize(line) : kLineSize;
-    std::vector<Eviction> evicted;
-    l1_.insert(line, bytes, false, &evicted);   // L1 is write-evict: clean
-    auto it = mshrs_.find(line);
-    if (it == mshrs_.end())
-        return;                                 // e.g. prefetch raced
-    for (int slot : it->second)
-        loadLineDone(slot);
-    mshrs_.erase(it);
+    ldst_.completeFill(line, bytes);
 }
 
 void
@@ -576,34 +382,16 @@ SmCore::deliver(const MemRequest &reply, Cycle now)
 MemRequest
 SmCore::popOutgoing()
 {
-    CABA_CHECK(!out_req_.empty(), "pop from empty out queue");
-    MemRequest req = out_req_.front();
-    out_req_.pop_front();
-    return req;
+    CABA_CHECK(!ldst_.out().empty(), "pop from empty out queue");
+    return ldst_.out().take();
 }
 
 // ------------------------------------------------------------ issue
 
 bool
-SmCore::warpReady(const WarpState &w) const
-{
-    if (!w.exists || w.done || w.ibuf.empty())
-        return false;
-    const Instruction &inst = *w.ibuf.front().inst;
-    std::uint64_t need = 0;
-    if (inst.dst >= 0)
-        need |= std::uint64_t{1} << inst.dst;
-    if (inst.src0 >= 0)
-        need |= std::uint64_t{1} << inst.src0;
-    if (inst.src1 >= 0)
-        need |= std::uint64_t{1} << inst.src1;
-    return (w.pending_regs & need) == 0;
-}
-
-bool
 SmCore::tryIssueRegular(int warp, Cycle now)
 {
-    WarpState &w = warps_[static_cast<std::size_t>(warp)];
+    WarpState &w = sched_.warp(warp);
     const DecodedInst di = w.ibuf.front();
     const Instruction &inst = *di.inst;
 
@@ -687,39 +475,35 @@ SmCore::tryIssueRegular(int warp, Cycle now)
       }
       case Opcode::LdGlobal:
       case Opcode::StGlobal: {
-        if (mem_port_used_ || ldst_.busy ||
-            (inst.op == Opcode::LdGlobal && free_load_slots_.empty())) {
+        const bool is_store = inst.op == Opcode::StGlobal;
+        if (mem_port_used_ || ldst_.busy() ||
+            (!is_store && !ldst_.hasFreeLoadSlot())) {
             saw_mem_block_ = true;
             return false;
         }
         mem_port_used_ = true;
-        ldst_.busy = true;
-        ldst_.is_store = inst.op == Opcode::StGlobal;
-        ldst_.warp = warp;
-        ldst_.cursor = 0;
-        kernel_->genLines(inst.stream, w.global_id, di.iter, &ldst_.access);
-        if (!ldst_.is_store) {
+        MemAccess &access = ldst_.beginAccess(is_store, warp);
+        kernel_->genLines(inst.stream, w.global_id, di.iter, &access);
+        if (!is_store) {
             std::uint64_t mask = 0;
             if (inst.dst >= 0)
                 mask = std::uint64_t{1} << inst.dst;
-            if (ldst_.access.lines.empty()) {
+            if (access.lines.empty()) {
                 // Degenerate: nothing to fetch.
-                ldst_.busy = false;
+                ldst_.cancel();
             } else {
                 w.pending_regs |= mask;
-                ldst_.load_slot = allocLoadSlot(
-                    warp, mask,
-                    static_cast<int>(ldst_.access.lines.size()));
-                maybePrefetch(ldst_.access.lines.front(), inst.stream, now);
+                ldst_.armLoad(warp, mask);
+                maybePrefetch(access.lines.front(), inst.stream, now);
             }
             ++n_.issued_global_loads;
         } else {
-            ldst_.load_slot = -1;
-            if (ldst_.access.lines.empty())
-                ldst_.busy = false;
+            ldst_.armStore();
+            if (access.lines.empty())
+                ldst_.cancel();
             ++n_.issued_global_stores;
         }
-        n_.global_lines_accessed += ldst_.access.lines.size();
+        n_.global_lines_accessed += access.lines.size();
         break;
       }
       case Opcode::Branch:
@@ -727,7 +511,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
         break;
       case Opcode::Exit:
         w.done = true;
-        --live_warps_;
+        sched_.noteWarpRetired();
         ++n_.warps_retired;
         trace::instant(trace::kWarp, trace::kPidSm, id_, "warp_retire", now,
                        "warp", static_cast<std::uint64_t>(w.global_id));
@@ -790,36 +574,9 @@ SmCore::issueStage(Cycle now)
         // 2. Regular warps: greedy-then-oldest (Table 1), or loose
         // round-robin when cfg_.gto is off (scheduler ablation).
         if (!issued) {
-            const int g = greedy_warp_[static_cast<std::size_t>(s)];
-            if (cfg_.gto && g != kInvalidWarp &&
-                warpReady(warps_[static_cast<std::size_t>(g)])) {
-                issued = tryIssueRegular(g, now);
-            }
-            if (!issued) {
-                const int slots = cfg_.max_warps / cfg_.schedulers;
-                const int start =
-                    cfg_.gto ? 0 : lrr_next_[static_cast<std::size_t>(s)];
-                for (int k = 0; k < slots; ++k) {
-                    const int w =
-                        ((start + k) % slots) * cfg_.schedulers + s;
-                    const WarpState &ws = warps_[static_cast<std::size_t>(w)];
-                    if (!ws.exists || ws.done)
-                        continue;
-                    if (!ws.ibuf.empty() && !warpReady(ws)) {
-                        saw_data_block_ = true;
-                        continue;
-                    }
-                    if (!warpReady(ws))
-                        continue;
-                    if (tryIssueRegular(w, now)) {
-                        issued = true;
-                        greedy_warp_[static_cast<std::size_t>(s)] = w;
-                        lrr_next_[static_cast<std::size_t>(s)] =
-                            (start + k + 1) % slots;
-                        break;
-                    }
-                }
-            }
+            issued = sched_.pickAndIssue(
+                s, &saw_data_block_,
+                [&](int w) { return tryIssueRegular(w, now); });
         }
 
         // 3. Low-priority assist warps fill idle slots (Section 3.4).
@@ -844,7 +601,7 @@ SmCore::issueStage(Cycle now)
 void
 SmCore::classifyCycle(Cycle now)
 {
-    if (live_warps_ == 0 && awc_.table().empty()) {
+    if (sched_.liveWarps() == 0 && awc_.table().empty()) {
         // Retired SM: not counted in the issue breakdown. Close any
         // open trace span at the retirement boundary.
         if (trace_class_ >= 0) {
@@ -889,6 +646,84 @@ SmCore::classifyCycle(Cycle now)
     }
 }
 
+// ------------------------------------------------------------ quiescence
+
+Cycle
+SmCore::nextWork(Cycle now) const
+{
+    if (done())
+        return kNoWork;
+    // Any in-flight LDST work, queued requests, or fills awaiting AWT
+    // room can change state next cycle (queued fills also burn an AWT
+    // rejection counter per ticked cycle — the skip must not hide that).
+    // A structurally stalled LDST unit replays as a near-no-op, but
+    // letting the clock skip over it would also skip the DRAM command
+    // scheduler's cycle-accurate arbitration downstream, so a busy LDST
+    // unit always pins `now`.
+    if (ldst_.busy() || !ldst_.out().empty() || !pending_fills_.empty())
+        return now;
+    // A decodable warp fills its ibuf; a scoreboard-ready warp issues.
+    if (kernel_ && (sched_.anyDecodable() || sched_.anyReady()))
+        return now;
+    Cycle e = kNoWork;
+    for (const AssistWarp &aw : awc_.table()) {
+        if (!aw.finishedIssuing() && aw.priority == AssistPriority::Low) {
+            // Low-priority eligibility depends on the sliding issue
+            // window, which every cycle ages. Never skip over it.
+            return now;
+        }
+        // High-priority warps issue — and finished warps reap — once
+        // ready_at arrives.
+        const Cycle t = aw.ready_at > now ? aw.ready_at : now;
+        if (t <= now)
+            return now;
+        e = std::min(e, t);
+    }
+    if (outstanding_events_ > 0) {
+        for (Cycle t = now; t < now + kRingSize; ++t) {
+            if (!ring_[t % kRingSize].empty()) {
+                e = std::min(e, t);
+                break;
+            }
+        }
+    }
+    return e;
+}
+
+void
+SmCore::skipIdle(Cycle from, Cycle to)
+{
+    const std::uint64_t k = to - from;
+    // issueStage runs (and feeds the throttle window) every cycle once a
+    // kernel is bound, even after all warps retire.
+    if (kernel_)
+        awc_.skipIdleSlots(k * static_cast<std::uint64_t>(cfg_.schedulers));
+    if (sched_.liveWarps() == 0 && awc_.table().empty())
+        return;     // retired SM: classifyCycle counts nothing.
+    // During a quiescent stretch every live warp holds a scoreboard-
+    // blocked instruction (else nextWork would have returned `now`), a
+    // data stall; with no live warps but a non-empty AWT the cycles are
+    // idle — exactly what classifyCycle would have counted.
+    const int cls = sched_.liveWarps() > 0 ? 3 : 4;
+    if (cls == 3)
+        breakdown_.data_stall += k;
+    else
+        breakdown_.idle += k;
+    if (!trace::on(trace::kWarp)) {
+        trace_class_ = -1;
+        return;
+    }
+    if (cls != trace_class_) {
+        if (trace_class_ >= 0) {
+            trace::complete(trace::kWarp, trace::kPidSm, id_,
+                            kIssueClassNames[trace_class_],
+                            trace_class_start_, from - trace_class_start_);
+        }
+        trace_class_ = cls;
+        trace_class_start_ = from;
+    }
+}
+
 StatSet
 SmCore::stats() const
 {
@@ -901,9 +736,9 @@ SmCore::stats() const
     s.setCounter("issued_global_stores", n_.issued_global_stores);
     s.setCounter("global_lines_accessed", n_.global_lines_accessed);
     s.setCounter("warps_retired", n_.warps_retired);
-    s.setCounter("l1_load_hits", n_.l1_load_hits);
-    s.setCounter("l1_load_misses", n_.l1_load_misses);
-    s.setCounter("mshr_merges", n_.mshr_merges);
+    s.setCounter("l1_load_hits", ldst_.loadHits());
+    s.setCounter("l1_load_misses", ldst_.loadMisses());
+    s.setCounter("mshr_merges", ldst_.mshrMerges());
     s.setCounter("assist_alu_issued", n_.assist_alu_issued);
     s.setCounter("assist_mem_issued", n_.assist_mem_issued);
     s.setCounter("assist_instructions", n_.assist_instructions);
@@ -933,8 +768,8 @@ SmCore::stats() const
 bool
 SmCore::done() const
 {
-    return live_warps_ == 0 && outstanding_events_ == 0 && mshrs_.empty() &&
-           !ldst_.busy && out_req_.empty() && comp_stores_.empty() &&
+    return sched_.liveWarps() == 0 && outstanding_events_ == 0 &&
+           ldst_.drained() && comp_stores_.empty() &&
            pending_fills_.empty() && awc_.table().empty();
 }
 

@@ -6,6 +6,14 @@
  * and the CABA machinery (AWC/AWT/AWB + AWS-supplied subroutines)
  * grafted onto the issue stage exactly as in Figure 3.
  *
+ * Structurally the core is a thin conductor over two extracted units —
+ * the WarpScheduler front-end (decode, scoreboard, GTO/LRR pick) and the
+ * LdstUnit back-end (L1, MSHRs, coalescer drain) — plus the execution
+ * pipelines and the CABA hooks that glue them together. It implements
+ * the Clocked protocol so GpuSystem can fast-forward through quiescent
+ * stretches, and its reply-side Sink face is what the reply crossbar's
+ * output port is wired to.
+ *
  * The core also attributes every no-issue cycle to one of the paper's
  * Figure 1 categories (memory structural, compute structural, data
  * dependence, idle).
@@ -20,6 +28,7 @@
 
 #include "caba/awc.h"
 #include "caba/aws.h"
+#include "common/component.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "gpu/design.h"
@@ -28,6 +37,8 @@
 #include "mem/compression_model.h"
 #include "mem/request.h"
 #include "sim/kernel.h"
+#include "sim/ldst_unit.h"
+#include "sim/warp_scheduler.h"
 
 namespace caba {
 
@@ -84,7 +95,9 @@ struct CycleBreakdown
 };
 
 /** One streaming multiprocessor. */
-class SmCore
+class SmCore : public Clocked,
+               public Sink<MemRequest>,
+               private LdstUnit::Hooks
 {
   public:
     SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
@@ -101,19 +114,50 @@ class SmCore
                 int warp_global_base, int warp_global_stride = 1);
 
     /** Advances the core one cycle. */
-    void cycle(Cycle now);
+    void cycle(Cycle now) override;
 
     /** True when every warp retired and all machinery drained. */
     bool done() const;
 
+    /** Clocked face: the core needs cycles until fully drained. */
+    bool busy() const override { return !done(); }
+
+    /**
+     * Earliest cycle >= @p now at which ticking this core could change
+     * state: an event-ring bucket fires, an assist warp becomes ready,
+     * a warp can decode or issue, or the LDST unit has work in flight.
+     */
+    Cycle nextWork(Cycle now) const override;
+
+    /**
+     * Accounts the skipped cycles [from, to) exactly as ticking them
+     * would have: issue-slot history for the throttle window, the
+     * Figure 1 breakdown, and the warp-category trace span.
+     */
+    void skipIdle(Cycle from, Cycle to) override;
+
     // -- crossbar-facing interface --
 
-    bool hasOutgoing() const { return !out_req_.empty(); }
-    const MemRequest &peekOutgoing() const { return out_req_.front(); }
+    /** Outgoing request port (the request crossbar's input is wired
+     *  to this). */
+    Channel<MemRequest> &out() { return ldst_.out(); }
+
+    bool hasOutgoing() const { return !ldst_.out().empty(); }
+    const MemRequest &peekOutgoing() const { return ldst_.out().front(); }
     MemRequest popOutgoing();
 
     /** Fill/reply delivery from the reply crossbar. */
     void deliver(const MemRequest &reply, Cycle now);
+
+    /** Sink face: the reply crossbar's output port delivers here. An SM
+     *  always sinks replies (fills never back-pressure the crossbar). */
+    bool canAccept() const override { return true; }
+
+    void
+    accept(const MemRequest &reply, Cycle now) override
+    {
+        deliver(reply, now);
+    }
 
     // -- inspection --
 
@@ -122,55 +166,13 @@ class SmCore
 
     /** Snapshot of every per-SM counter. */
     StatSet stats() const;
-    const Cache &l1() const { return l1_; }
+    const Cache &l1() const { return ldst_.l1(); }
     const AssistWarpController &awc() const { return awc_; }
     std::uint64_t instructionsIssued() const { return instr_issued_; }
 
   private:
-    struct DecodedInst
-    {
-        const Instruction *inst = nullptr;
-        int iter = 0;
-    };
-
-    /** Fixed-capacity instruction buffer (2 entries per Table 1). */
-    struct IBuf
-    {
-        DecodedInst slots[4];
-        std::uint8_t head = 0;
-        std::uint8_t count = 0;
-
-        bool empty() const { return count == 0; }
-        int size() const { return count; }
-        const DecodedInst &front() const { return slots[head]; }
-
-        void
-        push(const DecodedInst &d)
-        {
-            slots[(head + count) & 3] = d;
-            ++count;
-        }
-
-        void
-        pop()
-        {
-            head = (head + 1) & 3;
-            --count;
-        }
-    };
-
-    struct WarpState
-    {
-        bool exists = false;
-        bool done = false;
-        bool decode_done = false;
-        int pc = 0;
-        int iter = 0;
-        int trips_left = 0;
-        int global_id = 0;
-        std::uint64_t pending_regs = 0;
-        IBuf ibuf;
-    };
+    using WarpState = WarpScheduler::WarpState;
+    using DecodedInst = WarpScheduler::DecodedInst;
 
     /** Delayed writeback / pipeline-release event. */
     struct Event
@@ -188,50 +190,38 @@ class SmCore
         Addr line = 0;
     };
 
-    struct PendingLoad
-    {
-        bool active = false;
-        int warp = kInvalidWarp;
-        std::uint64_t regmask = 0;
-        int lines_left = 0;
-    };
-
-    struct LdstState
-    {
-        bool busy = false;
-        bool is_store = false;
-        int warp = kInvalidWarp;
-        int load_slot = -1;
-        MemAccess access;
-        std::size_t cursor = 0;
-    };
-
     struct PendingStore
     {
         Addr line = 0;
         bool full_line = true;
     };
 
+    // LdstUnit::Hooks — the CABA/core services the drain path needs.
+    std::uint64_t allocReqId() override { return next_req_id_++; }
+    bool onLoadHit(Addr line, int load_slot, Cycle now) override;
+    void commitStore(Addr line) override;
+    void routeStore(Addr line, bool full_line, int warp,
+                    Cycle now) override;
+
+    void
+    clearPending(int warp, std::uint64_t mask) override
+    {
+        sched_.clearPending(warp, mask);
+    }
+
     // pipeline stages
     void processEvents(Cycle now);
     void reapAssistWarps(Cycle now);
     void retryPendingFills(Cycle now);
-    void drainLdst(Cycle now);
-    void decodeStage();
     void issueStage(Cycle now);
     void classifyCycle(Cycle now);
 
     // helpers
-    void decodeOneWarp(WarpState &w);
-    bool warpReady(const WarpState &w) const;
     bool tryIssueRegular(int warp, Cycle now);
     bool tryIssueAssist(AssistWarp &aw, Cycle now);
     void scheduleEvent(Cycle at, Event ev, Cycle now);
-    void loadLineDone(int slot);
     void completeFill(Addr line, Cycle now);
     void emitStoreRequest(Addr line, bool full_line, bool compressed_ok);
-    void commitStoreLine(Addr line);
-    int allocLoadSlot(int warp, std::uint64_t regmask, int lines);
     bool triggerDecompress(Addr line, AssistPurpose purpose,
                            std::uint64_t token, Cycle now);
     void maybePrefetch(Addr line, int stream, Cycle now);
@@ -247,16 +237,11 @@ class SmCore
     BackingStore *backing_;
     const KernelInfo *kernel_ = nullptr;
 
-    Cache l1_;
     AssistWarpController awc_;
     Rng rng_;
+    WarpScheduler sched_;
+    LdstUnit ldst_;
 
-    std::vector<WarpState> warps_;
-    std::vector<PendingLoad> loads_;
-    std::vector<int> free_load_slots_;
-    std::unordered_map<Addr, std::vector<int>> mshrs_;
-    LdstState ldst_;
-    std::deque<MemRequest> out_req_;
     std::deque<Addr> pending_fills_;            ///< Awaiting AWT room.
     std::unordered_map<std::uint64_t, PendingStore> comp_stores_;
     std::uint64_t next_store_token_ = 1;
@@ -278,15 +263,10 @@ class SmCore
     bool saw_data_block_ = false;
     bool issued_any_ = false;
 
-    // schedulers
-    std::vector<int> greedy_warp_;
-    std::vector<int> decode_rr_;
-    std::vector<int> lrr_next_;     ///< Rotation points for LRR mode.
     int assist_rr_ = 0;
 
     CycleBreakdown breakdown_;
     std::uint64_t instr_issued_ = 0;
-    int live_warps_ = 0;
 
     /** Span tracking for the warp-category trace: current issue class
      *  (index into the Figure 1 breakdown, -1 none) and its start. */
@@ -306,9 +286,6 @@ class SmCore
         std::uint64_t issued_global_stores = 0;
         std::uint64_t global_lines_accessed = 0;
         std::uint64_t warps_retired = 0;
-        std::uint64_t l1_load_hits = 0;
-        std::uint64_t l1_load_misses = 0;
-        std::uint64_t mshr_merges = 0;
         std::uint64_t assist_alu_issued = 0;
         std::uint64_t assist_mem_issued = 0;
         std::uint64_t assist_instructions = 0;

@@ -1,0 +1,133 @@
+#include "sim/warp_scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace caba {
+
+WarpScheduler::WarpScheduler(int max_warps, int schedulers,
+                             int ibuffer_entries, int decode_width, bool gto)
+    : max_warps_(max_warps), schedulers_(schedulers),
+      ibuffer_entries_(ibuffer_entries), decode_width_(decode_width),
+      gto_(gto),
+      greedy_warp_(static_cast<std::size_t>(schedulers), kInvalidWarp),
+      decode_rr_(static_cast<std::size_t>(schedulers), 0),
+      lrr_next_(static_cast<std::size_t>(schedulers), 0)
+{
+    CABA_CHECK(schedulers_ >= 1, "need at least one scheduler");
+    warps_.resize(static_cast<std::size_t>(max_warps));
+}
+
+void
+WarpScheduler::launch(const KernelInfo *kernel, int num_warps,
+                      int warp_global_base, int warp_global_stride)
+{
+    CABA_CHECK(kernel, "null kernel");
+    CABA_CHECK(num_warps > 0 && num_warps <= max_warps_,
+               "bad warp count for launch");
+    CABA_CHECK(kernel->program().numRegs() <= 64,
+               "scoreboard supports at most 64 registers per thread");
+    kernel_ = kernel;
+    live_warps_ = num_warps;
+    for (int w = 0; w < num_warps; ++w) {
+        WarpState &ws = warps_[static_cast<std::size_t>(w)];
+        ws = WarpState{};
+        ws.exists = true;
+        ws.global_id = warp_global_base + w * warp_global_stride;
+        ws.trips_left = std::max(1, kernel->iterations(ws.global_id));
+    }
+}
+
+void
+WarpScheduler::decodeOneWarp(WarpState &w)
+{
+    const Program &prog = kernel_->program();
+    for (int n = 0; n < decode_width_; ++n) {
+        if (w.decode_done ||
+            static_cast<int>(w.ibuf.size()) >= ibuffer_entries_) {
+            return;
+        }
+        const Instruction &inst = prog.at(w.pc);
+        w.ibuf.push({&inst, w.iter});
+        if (inst.op == Opcode::Branch) {
+            // Back-edge resolves at decode: trip counters are explicit.
+            --w.trips_left;
+            if (w.trips_left > 0) {
+                w.pc = inst.branch_target;
+                ++w.iter;
+            } else {
+                ++w.pc;
+            }
+        } else if (inst.op == Opcode::Exit) {
+            w.decode_done = true;
+        } else {
+            ++w.pc;
+        }
+    }
+}
+
+void
+WarpScheduler::decodeCycle()
+{
+    if (!kernel_)
+        return;
+    for (int s = 0; s < schedulers_; ++s) {
+        // Round-robin pick of one warp of this scheduler's parity.
+        const int slots = max_warps_ / schedulers_;
+        for (int k = 0; k < slots; ++k) {
+            const int w = ((decode_rr_[static_cast<std::size_t>(s)] + k) %
+                           slots) * schedulers_ + s;
+            WarpState &ws = warps_[static_cast<std::size_t>(w)];
+            if (!ws.exists || ws.done || ws.decode_done ||
+                static_cast<int>(ws.ibuf.size()) >= ibuffer_entries_) {
+                continue;
+            }
+            decodeOneWarp(ws);
+            decode_rr_[static_cast<std::size_t>(s)] =
+                (w / schedulers_ + 1) % slots;
+            break;
+        }
+    }
+}
+
+bool
+WarpScheduler::warpReady(const WarpState &w) const
+{
+    if (!w.exists || w.done || w.ibuf.empty())
+        return false;
+    const Instruction &inst = *w.ibuf.front().inst;
+    std::uint64_t need = 0;
+    if (inst.dst >= 0)
+        need |= std::uint64_t{1} << inst.dst;
+    if (inst.src0 >= 0)
+        need |= std::uint64_t{1} << inst.src0;
+    if (inst.src1 >= 0)
+        need |= std::uint64_t{1} << inst.src1;
+    return (w.pending_regs & need) == 0;
+}
+
+bool
+WarpScheduler::anyDecodable() const
+{
+    if (!kernel_)
+        return false;
+    for (const WarpState &w : warps_) {
+        if (w.exists && !w.done && !w.decode_done &&
+            static_cast<int>(w.ibuf.size()) < ibuffer_entries_) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+WarpScheduler::anyReady() const
+{
+    for (const WarpState &w : warps_)
+        if (warpReady(w))
+            return true;
+    return false;
+}
+
+} // namespace caba

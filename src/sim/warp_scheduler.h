@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Warp front-end of one SM: per-warp decode state and instruction
+ * buffers, the round-robin decode pick, scoreboard readiness, and the
+ * greedy-then-oldest (or loose round-robin) issue selection of Table 1.
+ * Execution itself stays with SmCore — the scheduler hands it a warp id
+ * through a try-issue callback and keeps its greedy/rotation bookkeeping
+ * consistent with whether the issue actually happened.
+ */
+#ifndef CABA_SIM_WARP_SCHEDULER_H
+#define CABA_SIM_WARP_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/kernel.h"
+
+namespace caba {
+
+struct SmConfig;
+
+/** Decode/issue front-end shared by the SmCore pipelines. */
+class WarpScheduler
+{
+  public:
+    struct DecodedInst
+    {
+        const Instruction *inst = nullptr;
+        int iter = 0;
+    };
+
+    /** Fixed-capacity instruction buffer (2 entries per Table 1). */
+    struct IBuf
+    {
+        DecodedInst slots[4];
+        std::uint8_t head = 0;
+        std::uint8_t count = 0;
+
+        bool empty() const { return count == 0; }
+        int size() const { return count; }
+        const DecodedInst &front() const { return slots[head]; }
+
+        void
+        push(const DecodedInst &d)
+        {
+            slots[(head + count) & 3] = d;
+            ++count;
+        }
+
+        void
+        pop()
+        {
+            head = (head + 1) & 3;
+            --count;
+        }
+    };
+
+    struct WarpState
+    {
+        bool exists = false;
+        bool done = false;
+        bool decode_done = false;
+        int pc = 0;
+        int iter = 0;
+        int trips_left = 0;
+        int global_id = 0;
+        std::uint64_t pending_regs = 0;
+        IBuf ibuf;
+    };
+
+    WarpScheduler(int max_warps, int schedulers, int ibuffer_entries,
+                  int decode_width, bool gto);
+
+    /** Initializes warp state for a kernel launch (see SmCore::launch). */
+    void launch(const KernelInfo *kernel, int num_warps,
+                int warp_global_base, int warp_global_stride);
+
+    const KernelInfo *kernel() const { return kernel_; }
+
+    /** Decode stage: each scheduler picks one warp round-robin. */
+    void decodeCycle();
+
+    /** Scoreboard check of the warp's next buffered instruction. */
+    bool warpReady(const WarpState &w) const;
+
+    WarpState &
+    warp(int w)
+    {
+        return warps_[static_cast<std::size_t>(w)];
+    }
+
+    const WarpState &
+    warp(int w) const
+    {
+        return warps_[static_cast<std::size_t>(w)];
+    }
+
+    /** Writeback: clears @p mask from the warp's pending registers. */
+    void
+    clearPending(int w, std::uint64_t mask)
+    {
+        if (w != kInvalidWarp)
+            warps_[static_cast<std::size_t>(w)].pending_regs &= ~mask;
+    }
+
+    int liveWarps() const { return live_warps_; }
+
+    /** Bookkeeping for a warp issuing its Exit. */
+    void noteWarpRetired() { --live_warps_; }
+
+    /**
+     * Issue selection for scheduler @p s: greedy-then-oldest over its
+     * warp parity (loose round-robin when gto is off). @p try_issue is
+     * invoked with a ready warp id and reports whether the issue took a
+     * pipeline slot; greedy/rotation state updates only on success.
+     * Warps blocked on operands set @p *saw_data_block.
+     */
+    template <typename TryIssue>
+    bool
+    pickAndIssue(int s, bool *saw_data_block, TryIssue &&try_issue)
+    {
+        const int g = greedy_warp_[static_cast<std::size_t>(s)];
+        if (gto_ && g != kInvalidWarp &&
+            warpReady(warps_[static_cast<std::size_t>(g)])) {
+            if (try_issue(g))
+                return true;
+        }
+        const int slots = max_warps_ / schedulers_;
+        const int start = gto_ ? 0 : lrr_next_[static_cast<std::size_t>(s)];
+        for (int k = 0; k < slots; ++k) {
+            const int w = ((start + k) % slots) * schedulers_ + s;
+            const WarpState &ws = warps_[static_cast<std::size_t>(w)];
+            if (!ws.exists || ws.done)
+                continue;
+            if (!ws.ibuf.empty() && !warpReady(ws)) {
+                *saw_data_block = true;
+                continue;
+            }
+            if (!warpReady(ws))
+                continue;
+            if (try_issue(w)) {
+                greedy_warp_[static_cast<std::size_t>(s)] = w;
+                lrr_next_[static_cast<std::size_t>(s)] =
+                    (start + k + 1) % slots;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // -- quiescence queries (for SmCore::nextWork / skipIdle) --
+
+    /** True when any warp could accept decoded instructions. */
+    bool anyDecodable() const;
+
+    /** True when any warp passes the scoreboard this cycle. */
+    bool anyReady() const;
+
+  private:
+    void decodeOneWarp(WarpState &w);
+
+    int max_warps_;
+    int schedulers_;
+    int ibuffer_entries_;
+    int decode_width_;
+    bool gto_;
+
+    const KernelInfo *kernel_ = nullptr;
+    std::vector<WarpState> warps_;
+    int live_warps_ = 0;
+
+    std::vector<int> greedy_warp_;
+    std::vector<int> decode_rr_;
+    std::vector<int> lrr_next_;     ///< Rotation points for LRR mode.
+};
+
+} // namespace caba
+
+#endif // CABA_SIM_WARP_SCHEDULER_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Clocked/Port primitives: Channel capacity semantics (canPush
+ * gates, push never refuses), Wire pumping under backpressure, and the
+ * kNoWork sentinel contract.
+ */
+#include <gtest/gtest.h>
+
+#include "common/component.h"
+
+namespace caba {
+namespace {
+
+TEST(Channel, CapacityGatesCanPushNotPush)
+{
+    Channel<int> ch(2);
+    EXPECT_TRUE(ch.canPush());
+    ch.push(1);
+    ch.push(2);
+    EXPECT_FALSE(ch.canPush());
+    EXPECT_FALSE(ch.canAccept());
+    // Producers with reserved slots may exceed the advertised capacity,
+    // exactly like the hand-rolled deques the Channel replaced.
+    ch.push(3);
+    EXPECT_EQ(ch.size(), 3u);
+    EXPECT_EQ(ch.front(), 1);
+}
+
+TEST(Channel, UnboundedByDefault)
+{
+    Channel<int> ch;
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(ch.canPush());
+        ch.push(i);
+    }
+    EXPECT_EQ(ch.size(), 1000u);
+}
+
+TEST(Channel, SourceSinkFacesMatchDequeOps)
+{
+    Channel<int> ch(4);
+    ch.accept(7, 0);
+    ch.accept(8, 0);
+    EXPECT_TRUE(ch.hasData(0));
+    EXPECT_EQ(ch.take(), 7);
+    EXPECT_EQ(ch.take(), 8);
+    EXPECT_FALSE(ch.hasData(0));
+}
+
+TEST(Wire, PumpsUntilBackpressure)
+{
+    Channel<int> src;
+    Channel<int> dst(2);
+    for (int i = 0; i < 5; ++i)
+        src.push(i);
+    Wire<int> w{&src, &dst};
+    w.pump(0);
+    // Two fit; three stay queued at the source.
+    EXPECT_EQ(dst.size(), 2u);
+    EXPECT_EQ(src.size(), 3u);
+    EXPECT_EQ(dst.take(), 0);
+    EXPECT_EQ(dst.take(), 1);
+    w.pump(1);
+    EXPECT_EQ(dst.size(), 2u);
+    EXPECT_EQ(src.size(), 1u);
+}
+
+TEST(Wire, EmptySourceIsNoOp)
+{
+    Channel<int> src;
+    Channel<int> dst(1);
+    Wire<int> w{&src, &dst};
+    w.pump(0);
+    EXPECT_TRUE(dst.empty());
+}
+
+TEST(Clocked, NoWorkSentinelIsMaximal)
+{
+    EXPECT_EQ(kNoWork, ~Cycle{0});
+    EXPECT_GT(kNoWork, Cycle{1} << 62);
+}
+
+} // namespace
+} // namespace caba
