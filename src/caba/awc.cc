@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/log.h"
 
 namespace caba {
@@ -31,6 +32,8 @@ AssistWarpController::trigger(AssistWarp aw)
     ++triggers_;
     if (aw.priority == AssistPriority::High)
         ++triggers_high_;
+    else
+        low_ids_.push_back(aw.id);
     table_.push_back(std::move(aw));
     return true;
 }
@@ -41,20 +44,27 @@ AssistWarpController::eligible(const AssistWarp &aw) const
     if (aw.priority == AssistPriority::High)
         return true;
     // AWB staging: only the first awb_low_slots low-priority entries are
-    // in the instruction buffer partition.
-    int slot = 0;
-    for (const AssistWarp &other : table_) {
-        if (other.priority != AssistPriority::Low)
-            continue;
-        if (other.id == aw.id)
-            break;
-        ++slot;
-    }
-    if (slot >= cfg_.awb_low_slots)
+    // in the instruction buffer partition. low_ids_ is the table's
+    // low-priority subsequence by construction, so holding a staging
+    // slot is equivalent to aw.id being among its first awb_low_slots
+    // entries -- an O(1) bound check instead of the old AWT scan.
+    if (cfg_.awb_low_slots <= 0)
+        return false;
+    const auto slots = static_cast<std::size_t>(cfg_.awb_low_slots);
+    if (low_ids_.size() > slots && aw.id > low_ids_[slots - 1])
         return false;
     if (cfg_.throttle && idleFraction() < cfg_.throttle_idle_floor)
         return false;
     return true;
+}
+
+void
+AssistWarpController::removeLowId(std::uint64_t id)
+{
+    auto it = std::lower_bound(low_ids_.begin(), low_ids_.end(), id);
+    CABA_CHECK(it != low_ids_.end() && *it == id,
+               "low-priority staging order lost an id");
+    low_ids_.erase(it);
 }
 
 void
@@ -64,7 +74,11 @@ AssistWarpController::reapFinished(Cycle now, std::vector<AssistWarp> *out)
         AssistWarp &aw = table_[i];
         if (aw.finishedIssuing() && aw.ready_at <= now) {
             ++completions_;
-            latency_.record(now >= aw.spawned ? now - aw.spawned : 0);
+            CABA_CHECK(now >= aw.spawned,
+                       "assist warp completed before its spawn cycle");
+            latency_.record(now - aw.spawned);
+            if (aw.priority == AssistPriority::Low)
+                removeLowId(aw.id);
             out->push_back(std::move(aw));
             table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
         } else {
@@ -79,6 +93,8 @@ AssistWarpController::killByToken(std::uint64_t token, AssistPurpose purpose)
     int killed = 0;
     for (std::size_t i = 0; i < table_.size();) {
         if (table_[i].token == token && table_[i].purpose == purpose) {
+            if (table_[i].priority == AssistPriority::Low)
+                removeLowId(table_[i].id);
             table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(i));
             ++killed;
         } else {
@@ -117,6 +133,27 @@ AssistWarpController::skipIdleSlots(std::uint64_t slots)
     }
     for (std::uint64_t i = 0; i < slots; ++i)
         noteIssueSlot(false);
+}
+
+void
+AssistWarpController::audit(Audit &a) const
+{
+    a.checkEq("awc", "triggers == completions + kills + live", triggers_,
+              completions_ + kills_ +
+                  static_cast<std::uint64_t>(table_.size()));
+    a.checkLe("awc", "triggers_high <= triggers", triggers_high_, triggers_);
+    // The incremental staging order must equal the table's low-priority
+    // subsequence (cold path: recompute it and compare).
+    std::size_t k = 0;
+    bool match = true;
+    for (const AssistWarp &aw : table_) {
+        if (aw.priority != AssistPriority::Low)
+            continue;
+        match = match && k < low_ids_.size() && low_ids_[k] == aw.id;
+        ++k;
+    }
+    match = match && k == low_ids_.size();
+    a.checkTrue("awc", "staging order matches AWT low subsequence", match);
 }
 
 double

@@ -18,6 +18,8 @@
 
 namespace caba {
 
+class Audit;
+
 /** CABA framework knobs (one instance per SM). */
 struct CabaConfig
 {
@@ -108,10 +110,25 @@ class AssistWarpController
 
     const CabaConfig &config() const { return cfg_; }
 
+    /** Trigger identity and staging-order consistency checks. */
+    void audit(Audit &a) const;
+
   private:
+    /** Drops @p id from the low-priority staging order. */
+    void removeLowId(std::uint64_t id);
+
     CabaConfig cfg_;
     std::vector<AssistWarp> table_;
     std::uint64_t next_id_ = 1;
+
+    /**
+     * Ids of live low-priority entries, ascending (ids are assigned from
+     * a monotonic sequence and table_ erases preserve order, so this is
+     * exactly the table's low-priority subsequence). The first
+     * awb_low_slots of these hold the AWB staging slots, which makes
+     * eligible() O(1) instead of a scan over the whole AWT.
+     */
+    std::deque<std::uint64_t> low_ids_;
 
     /** Sliding-window issue-slot history (ring of 0/1). */
     std::vector<std::uint8_t> window_;

@@ -1,0 +1,201 @@
+#include "common/audit.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+#include "mem/request.h"
+
+namespace caba {
+
+namespace {
+
+/** CABA_AUDIT, read once (sweep workers construct GpuSystems from many
+ *  threads; getenv after startup is not reliably thread-safe). */
+const char *
+auditEnv()
+{
+    static const char *const spec = std::getenv("CABA_AUDIT");
+    return spec;
+}
+
+} // namespace
+
+AuditConfig
+AuditConfig::applySpec(AuditConfig base, const char *spec)
+{
+    if (!spec || !*spec)
+        return base;
+    const std::string s(spec);
+    if (s == "off" || s == "0" || s == "none") {
+        base.level = AuditLevel::Off;
+        return base;
+    }
+    if (s == "end" || s == "1") {
+        base.level = AuditLevel::EndOfRun;
+        return base;
+    }
+    if (s == "full") {
+        base.level = AuditLevel::Periodic;
+        return base;
+    }
+    bool numeric = true;
+    for (const char c : s)
+        numeric = numeric && std::isdigit(static_cast<unsigned char>(c));
+    if (numeric) {
+        base.level = AuditLevel::Periodic;
+        base.period = std::strtoull(s.c_str(), nullptr, 10);
+        CABA_CHECK(base.period > 0, "CABA_AUDIT period must be positive");
+    }
+    return base;    // unknown spec: keep the configured level
+}
+
+AuditConfig
+AuditConfig::resolve(AuditConfig base)
+{
+    if (base.ignore_env)
+        return base;
+    return applySpec(base, auditEnv());
+}
+
+Audit::Audit(const AuditConfig &cfg) : cfg_(cfg)
+{
+    if (periodic())
+        CABA_CHECK(cfg_.period > 0, "periodic audit needs a period");
+}
+
+const char *
+reqStageName(ReqStage s)
+{
+    switch (s) {
+      case ReqStage::Injected: return "injected";
+      case ReqStage::XbarReq: return "xbar_req";
+      case ReqStage::AtPartition: return "at_partition";
+      case ReqStage::DramWait: return "dram_wait";
+      case ReqStage::Replied: return "replied";
+      case ReqStage::XbarReply: return "xbar_reply";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+Audit::key(const MemRequest &req)
+{
+    // Ids are a per-SM sequence, so (id, src_sm) is unique system-wide.
+    return (req.id << 8) | static_cast<std::uint64_t>(req.src_sm & 0xff);
+}
+
+void
+Audit::onInject(const MemRequest &req, Cycle now)
+{
+    if (!enabled())
+        return;
+    ++injected_;
+    Tracked t;
+    t.stage = ReqStage::Injected;
+    t.injected = now;
+    t.line = req.line;
+    t.is_write = req.is_write;
+    const auto [it, fresh] = live_.emplace(key(req), t);
+    (void)it;
+    if (!fresh) {
+        std::ostringstream os;
+        os << "lifecycle: duplicate injection of request id " << req.id
+           << " from SM " << req.src_sm;
+        fail(os.str());
+    }
+}
+
+void
+Audit::onStage(const MemRequest &req, ReqStage stage)
+{
+    if (!enabled())
+        return;
+    auto it = live_.find(key(req));
+    if (it == live_.end()) {
+        std::ostringstream os;
+        os << "lifecycle: request id " << req.id << " from SM "
+           << req.src_sm << " reached stage " << reqStageName(stage)
+           << " without being injected";
+        fail(os.str());
+        return;
+    }
+    it->second.stage = stage;
+}
+
+void
+Audit::onRetire(const MemRequest &req)
+{
+    if (!enabled())
+        return;
+    auto it = live_.find(key(req));
+    if (it == live_.end()) {
+        std::ostringstream os;
+        os << "lifecycle: request id " << req.id << " from SM "
+           << req.src_sm << " retired twice (or never injected)";
+        fail(os.str());
+        return;
+    }
+    live_.erase(it);
+    ++retired_;
+}
+
+void
+Audit::fail(std::string msg)
+{
+    failures_.push_back(std::move(msg));
+}
+
+void
+Audit::checkEq(const char *where, const char *what, std::uint64_t lhs,
+               std::uint64_t rhs)
+{
+    if (lhs == rhs)
+        return;
+    std::ostringstream os;
+    os << where << ": " << what << " (" << lhs << " != " << rhs << ")";
+    fail(os.str());
+}
+
+void
+Audit::checkLe(const char *where, const char *what, std::uint64_t lhs,
+               std::uint64_t rhs)
+{
+    if (lhs <= rhs)
+        return;
+    std::ostringstream os;
+    os << where << ": " << what << " (" << lhs << " > " << rhs << ")";
+    fail(os.str());
+}
+
+void
+Audit::checkTrue(const char *where, const char *what, bool ok)
+{
+    if (ok)
+        return;
+    std::ostringstream os;
+    os << where << ": " << what;
+    fail(os.str());
+}
+
+void
+Audit::checkLifecycle(Cycle now, bool at_drain)
+{
+    checkEq("lifecycle", "injected == retired + live", injected_,
+            retired_ + static_cast<std::uint64_t>(live_.size()));
+    if (!at_drain)
+        return;
+    for (const auto &[k, t] : live_) {
+        std::ostringstream os;
+        os << "lifecycle: orphan request (id " << (k >> 8) << ", SM "
+           << (k & 0xff) << ", " << (t.is_write ? "store" : "load")
+           << " of line 0x" << std::hex << t.line << std::dec
+           << ") injected at cycle " << t.injected
+           << " still at stage " << reqStageName(t.stage)
+           << " when the system drained at cycle " << now;
+        fail(os.str());
+    }
+}
+
+} // namespace caba

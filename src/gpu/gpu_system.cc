@@ -33,7 +33,8 @@ noFastForwardEnv()
 
 GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
                      LineGenerator gen)
-    : cfg_(cfg), design_(design), backing_(std::move(gen)),
+    : cfg_(cfg), design_(design), audit_(AuditConfig::resolve(cfg.audit)),
+      backing_(std::move(gen)),
       aws_({cfg.sm.alu_latency, cfg.sm.l1_latency}),
       req_net_(cfg.num_sms, cfg.num_partitions, cfg.xbar, 0),
       reply_net_(cfg.num_partitions, cfg.num_sms, cfg.xbar, 100)
@@ -87,6 +88,52 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
     clocked_.push_back(&reply_net_);
     for (auto &part : partitions_)
         clocked_.push_back(part.get());
+
+    if (audit_.enabled()) {
+        for (auto &sm : sms_)
+            sm->attachAudit(&audit_);
+        req_net_.attachAudit(&audit_, ReqStage::XbarReq);
+        reply_net_.attachAudit(&audit_, ReqStage::XbarReply);
+        for (auto &part : partitions_)
+            part->attachAudit(&audit_);
+    }
+}
+
+void
+GpuSystem::injectFault(AuditFault fault)
+{
+    switch (fault) {
+      case AuditFault::DropStorePacket:
+        req_net_.faultDropNextStore();
+        break;
+      case AuditFault::DoubleCountBurst:
+        partitions_.front()->faultDoubleCountNextBurst();
+        break;
+      case AuditFault::LeakLoadSlot:
+        sms_.front()->faultLeakNextLoadSlot();
+        break;
+    }
+}
+
+void
+GpuSystem::runAudit(bool at_drain)
+{
+    if (!audit_.enabled())
+        return;
+    for (const auto &sm : sms_)
+        sm->audit(audit_, at_drain);
+    req_net_.audit(audit_, "xbar_req", at_drain);
+    reply_net_.audit(audit_, "xbar_reply", at_drain);
+    for (const auto &part : partitions_)
+        part->audit(audit_, at_drain);
+    if (model_)
+        model_->audit(audit_);
+    audit_.checkLifecycle(now_, at_drain);
+    if (!audit_.failures().empty() && audit_.config().fatal) {
+        for (const std::string &msg : audit_.failures())
+            std::fprintf(stderr, "CABA_AUDIT failure: %s\n", msg.c_str());
+        CABA_PANIC("CABA_AUDIT invariant violation (see stderr)");
+    }
 }
 
 void
@@ -164,6 +211,7 @@ GpuSystem::fastForward()
     // (counters are frozen across the span, so sampling mid-skip reads
     // the same values a ticked run would).
     Cycle k = wake - now_;
+    const Cycle skipped = k;
     if (cfg_.sample_interval > 0) {
         while (until_sample_ <= k) {
             now_ += until_sample_;
@@ -174,6 +222,17 @@ GpuSystem::fastForward()
         until_sample_ -= k;
     }
     now_ += k;
+    // Periodic audits inside the skip collapse to one: the span is
+    // quiescent, so every boundary would audit identical frozen state.
+    if (audit_.periodic() && until_audit_ > 0) {
+        const Cycle period = audit_.config().period;
+        if (skipped >= until_audit_) {
+            runAudit(false);
+            until_audit_ = period - (skipped - until_audit_) % period;
+        } else {
+            until_audit_ -= skipped;
+        }
+    }
     // Same wedge detection, same boundary, as the ticked loop.
     CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
 }
@@ -185,6 +244,7 @@ GpuSystem::run()
     // Timeline sampling (counter-based rather than now_ % interval so a
     // mid-run caller of step() cannot desynchronize the cadence).
     until_sample_ = cfg_.sample_interval;
+    until_audit_ = audit_.config().period;
     while (!done()) {
         if (ff)
             fastForward();
@@ -194,9 +254,14 @@ GpuSystem::run()
             until_sample_ = cfg_.sample_interval;
             timeline_.push_back(sampleNow());
         }
+        if (audit_.periodic() && --until_audit_ == 0) {
+            until_audit_ = audit_.config().period;
+            runAudit(false);
+        }
     }
     if (cfg_.sample_interval > 0)
         timeline_.push_back(sampleNow());   // final state
+    runAudit(true);
     return collect();
 }
 

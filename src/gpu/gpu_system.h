@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "caba/aws.h"
+#include "common/audit.h"
 #include "common/component.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
@@ -66,6 +67,11 @@ struct GpuConfig
 
     /** Cycles between timeline samples in RunResult (0 = no timeline). */
     Cycle sample_interval = 8192;
+
+    /** Self-consistency audits (CABA_AUDIT overrides level/period).
+     *  Audits read state but never touch timing or statistics, so
+     *  RunResult is bit-identical at any level. */
+    AuditConfig audit{};
 };
 
 /** One point of the progress-over-time series sampled during run(). */
@@ -114,6 +120,29 @@ class GpuSystem
     Cycle now() const { return now_; }
     bool done() const;
 
+    /**
+     * Seeds one deliberate bookkeeping fault (mutation self-test for
+     * the audit layer; tests/test_audit.cc). Faults fire on the next
+     * matching event in SM 0 / partition 0 / the request crossbar.
+     */
+    void injectFault(AuditFault fault);
+
+    /**
+     * Evaluates every audit invariant now. Called automatically by
+     * run() (periodically at AuditLevel::Periodic, always at drain);
+     * exposed so tests can audit mid-flight. Panics on failure unless
+     * AuditConfig::fatal is cleared.
+     */
+    void runAudit(bool at_drain);
+
+    /** Failures collected by non-fatal audits. */
+    const std::vector<std::string> &auditFailures() const
+    {
+        return audit_.failures();
+    }
+
+    const Audit &audit() const { return audit_; }
+
     SmCore &sm(int i) { return *sms_[static_cast<std::size_t>(i)]; }
     MemoryPartition &partition(int i)
     {
@@ -139,6 +168,7 @@ class GpuSystem
 
     GpuConfig cfg_;
     DesignConfig design_;
+    Audit audit_;
     BackingStore backing_;
     std::unique_ptr<CompressionModel> model_;
     AssistWarpStore aws_;
@@ -157,6 +187,7 @@ class GpuSystem
 
     Cycle now_ = 0;
     Cycle until_sample_ = 0;    ///< run()'s sampling countdown.
+    Cycle until_audit_ = 0;     ///< run()'s periodic-audit countdown.
     std::vector<TimeSample> timeline_;
 };
 

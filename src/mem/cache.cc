@@ -26,6 +26,7 @@ Cache::setIndex(Addr line) const
 bool
 Cache::access(Addr line)
 {
+    ++accesses_;
     const int s = setIndex(line);
     for (int w = 0; w < tags_per_set_; ++w) {
         Entry &e = entries_[static_cast<std::size_t>(s) * tags_per_set_ + w];

@@ -89,6 +89,9 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Lookups through access() (audit: hits + misses == accesses). */
+    std::uint64_t accesses() const { return accesses_; }
+
     /** Sum of occupied bytes across all sets (for utilization tests). */
     int occupiedBytes() const;
 
@@ -115,6 +118,7 @@ class Cache
     std::vector<Entry> entries_;    // num_sets_ * tags_per_set_
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t accesses_ = 0;    // audit-only; not exported in stats()
     std::uint64_t evictions_ = 0;
     std::uint64_t dirty_evictions_ = 0;
 };

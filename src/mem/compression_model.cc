@@ -1,30 +1,66 @@
 #include "mem/compression_model.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/audit.h"
 #include "common/log.h"
 
 namespace caba {
 
 CompressionModel::CompressionModel(const BackingStore &store, Algorithm algo,
-                                   bool verify)
-    : store_(store), algo_(algo), verify_(verify)
+                                   bool verify, std::size_t memo_cap)
+    : store_(store), algo_(algo), verify_(verify), memo_cap_(memo_cap)
 {
+    CABA_CHECK(memo_cap_ > 0, "memo capacity must be positive");
     if (algo_ != Algorithm::None)
         codec_ = &getCodec(algo_);
+}
+
+void
+CompressionModel::evictLru()
+{
+    const Addr victim = lru_.back();
+    auto it = memo_.find(victim);
+    CABA_CHECK(it != memo_.end(), "memo LRU list out of sync");
+    memo_bytes_ -= it->second.bytes;
+    memo_.erase(it);
+    lru_.pop_back();
+    stats_.add("memo_evictions");
 }
 
 const CompressedLine &
 CompressionModel::lookup(Addr line)
 {
     CABA_CHECK(enabled(), "lookup on disabled compression model");
-    Entry &e = memo_[line];
+    auto it = memo_.find(line);
+    if (it == memo_.end()) {
+        if (memo_.size() >= memo_cap_)
+            evictLru();
+        lru_.push_front(line);
+        it = memo_.emplace(line, Entry{}).first;
+        it->second.lru_it = lru_.begin();
+        peak_memo_entries_ = std::max(peak_memo_entries_, memo_.size());
+        stats_.set("memo_peak_entries",
+                   static_cast<std::uint64_t>(peak_memo_entries_));
+    } else {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
+    Entry &e = it->second;
     const std::uint64_t v = store_.version(line);
     if (e.version != v) {
         std::uint8_t buf[kLineSize];
         store_.read(line, buf);
         e.cl = codec_->compress(buf);
         e.version = v;
+        const std::size_t foot = sizeof(Entry) + e.cl.bytes.capacity();
+        memo_bytes_ += foot - e.bytes;
+        e.bytes = foot;
+        if (memo_bytes_ > peak_memo_bytes_) {
+            peak_memo_bytes_ = memo_bytes_;
+            stats_.set("memo_peak_bytes",
+                       static_cast<std::uint64_t>(peak_memo_bytes_));
+        }
         stats_.add("lines_compressed");
         stats_.add("uncompressed_bytes", kLineSize);
         stats_.add("compressed_bytes",
@@ -54,6 +90,30 @@ int
 CompressionModel::bursts(Addr line)
 {
     return enabled() ? lookup(line).bursts() : kBurstsPerLine;
+}
+
+void
+CompressionModel::audit(Audit &a) const
+{
+    a.checkLe("model", "compressed_bytes <= uncompressed_bytes",
+              stats_.get("compressed_bytes"),
+              stats_.get("uncompressed_bytes"));
+    a.checkLe("model", "compressed_bursts <= uncompressed_bursts",
+              stats_.get("compressed_bursts"),
+              stats_.get("uncompressed_bursts"));
+    // Every compression emits in [1, kLineSize] bytes, so totals bracket.
+    a.checkLe("model", "compressed_bytes >= lines_compressed",
+              stats_.get("lines_compressed"),
+              stats_.get("compressed_bytes"));
+    a.checkEq("model", "uncompressed_bytes == lines * kLineSize",
+              stats_.get("uncompressed_bytes"),
+              stats_.get("lines_compressed") * kLineSize);
+    a.checkLe("model", "memo entries <= capacity",
+              static_cast<std::uint64_t>(memo_.size()),
+              static_cast<std::uint64_t>(memo_cap_));
+    a.checkEq("model", "memo map and LRU list agree",
+              static_cast<std::uint64_t>(memo_.size()),
+              static_cast<std::uint64_t>(lru_.size()));
 }
 
 } // namespace caba

@@ -9,7 +9,9 @@
 #ifndef CABA_MEM_COMPRESSION_MODEL_H
 #define CABA_MEM_COMPRESSION_MODEL_H
 
+#include <cstddef>
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 
 #include "common/stats.h"
@@ -19,20 +21,32 @@
 
 namespace caba {
 
+class Audit;
+
 /** Compressed-size/encoding oracle with round-trip verification. */
 class CompressionModel
 {
   public:
+    /** Default memo capacity in entries (LRU-evicted beyond this). */
+    static constexpr std::size_t kDefaultMemoCapacity = 32768;
+
     /**
-     * @param store  functional memory the compressed images mirror
-     * @param algo   algorithm used for lines in memory (None = disabled)
-     * @param verify when true, every lookup round-trips the codec and
-     *               panics on mismatch (on by default; cheap)
+     * @param store    functional memory the compressed images mirror
+     * @param algo     algorithm used for lines in memory (None = disabled)
+     * @param verify   when true, every lookup round-trips the codec and
+     *                 panics on mismatch (on by default; cheap)
+     * @param memo_cap memoization capacity in lines; the memo is a pure
+     *                 cache over (line, version), so eviction never
+     *                 changes results, only recompression work
      */
     CompressionModel(const BackingStore &store, Algorithm algo,
-                     bool verify = true);
+                     bool verify = true,
+                     std::size_t memo_cap = kDefaultMemoCapacity);
 
-    /** Compressed image of @p line's current contents. */
+    /**
+     * Compressed image of @p line's current contents. The reference is
+     * valid only until the next lookup (an LRU eviction may reclaim it).
+     */
     const CompressedLine &lookup(Addr line);
 
     /** Compressed size in bytes of the line's current contents. */
@@ -44,21 +58,37 @@ class CompressionModel
     Algorithm algorithm() const { return algo_; }
     bool enabled() const { return algo_ != Algorithm::None; }
 
-    /** Aggregate compressibility counters (lines, bytes, bursts). */
+    /** Aggregate compressibility counters (lines, bytes, bursts) plus
+     *  memo_peak_entries / memo_peak_bytes / memo_evictions. */
     const StatSet &stats() const { return stats_; }
+
+    std::size_t memoEntries() const { return memo_.size(); }
+    std::size_t memoCapacity() const { return memo_cap_; }
+
+    /** Byte / burst conservation and memo-bound invariant checks. */
+    void audit(Audit &a) const;
 
   private:
     struct Entry
     {
         std::uint64_t version = ~std::uint64_t{0};
         CompressedLine cl;
+        std::list<Addr>::iterator lru_it;
+        std::size_t bytes = 0;  ///< Heap footprint charged to the memo.
     };
+
+    void evictLru();
 
     const BackingStore &store_;
     Algorithm algo_;
     const Codec *codec_ = nullptr;
     bool verify_;
+    std::size_t memo_cap_;
     std::unordered_map<Addr, Entry> memo_;
+    std::list<Addr> lru_;           ///< Front = most recently used.
+    std::size_t memo_bytes_ = 0;
+    std::size_t peak_memo_bytes_ = 0;
+    std::size_t peak_memo_entries_ = 0;
     StatSet stats_;
 };
 

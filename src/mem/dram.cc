@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/log.h"
 #include "common/trace.h"
 
@@ -390,6 +391,24 @@ DramChannel::stats() const
     s.setCounter("sched_blocked_inflight_cap", sched_blocked_cap_);
     s.dist("read_queue_depth").merge(read_queue_depth_);
     return s;
+}
+
+void
+DramChannel::audit(Audit &a, bool at_drain) const
+{
+    a.checkEq("dram", "bursts == data_bursts + overhead_bursts", bursts_,
+              data_bursts_ + overhead_bursts_);
+    a.checkLe("dram", "reads issued <= reads enqueued", reads_,
+              reads_enqueued_);
+    a.checkLe("dram", "writes issued <= writes enqueued", writes_,
+              writes_enqueued_);
+    if (at_drain) {
+        a.checkEq("dram", "every enqueued read issued at drain",
+                  reads_enqueued_, reads_);
+        a.checkEq("dram", "every enqueued write issued at drain",
+                  writes_enqueued_, writes_);
+        a.checkTrue("dram", "queues empty at drain", !busy());
+    }
 }
 
 } // namespace caba

@@ -24,6 +24,8 @@
 
 namespace caba {
 
+class Audit;
+
 /** Channel geometry and timing (core-clock cycles). */
 struct DramConfig
 {
@@ -137,6 +139,13 @@ class DramChannel : public Clocked
     StatSet stats() const;
 
     std::uint64_t totalBursts() const { return bursts_; }
+
+    /** Data-payload bursts only (the partition's transfer ledger must
+     *  equal this at drain). */
+    std::uint64_t dataBursts() const { return data_bursts_; }
+
+    /** Burst-ledger and enqueue/completion conservation checks. */
+    void audit(Audit &a, bool at_drain) const;
 
   private:
     struct Bank

@@ -32,15 +32,32 @@ class MdCache
      * Looks up the metadata covering data line @p line; fills on miss.
      * @return true on hit (no extra DRAM access needed).
      */
+    bool access(Addr line) { return access(line, false, nullptr); }
+
+    /**
+     * Lookup with store-path semantics: when @p update is set the burst
+     * count of @p line changes, so the MD line is made dirty (inserted
+     * dirty on a miss). A dirty MD line pushed out by the fill is a real
+     * metadata writeback to reserved DRAM; it is reported through
+     * @p writeback so the partition can charge the DRAM access instead
+     * of silently dropping the dirtiness.
+     */
     bool
-    access(Addr line)
+    access(Addr line, bool update, bool *writeback)
     {
         const Addr md_line =
             (line / kLineSize) / static_cast<Addr>(coverage_) * kLineSize;
-        if (cache_.access(md_line))
+        if (cache_.access(md_line)) {
+            if (update)
+                cache_.setDirty(md_line);
             return true;
+        }
         std::vector<Eviction> ev;
-        cache_.insert(md_line, kLineSize, false, &ev);
+        cache_.insert(md_line, kLineSize, update, &ev);
+        if (writeback) {
+            for (const Eviction &e : ev)
+                *writeback = *writeback || e.dirty;
+        }
         return false;
     }
 
@@ -55,6 +72,7 @@ class MdCache
 
     std::uint64_t hits() const { return cache_.hits(); }
     std::uint64_t misses() const { return cache_.misses(); }
+    std::uint64_t accesses() const { return cache_.accesses(); }
     StatSet stats() const { return cache_.stats(); }
 
   private:

@@ -29,6 +29,8 @@ void
 MemoryPartition::accept(const MemRequest &req, Cycle now)
 {
     CABA_CHECK(canAccept(), "partition ingress overflow");
+    if (audit_)
+        audit_->onStage(req, ReqStage::AtPartition);
     l2_pipe_.emplace_back(now + cfg_.l2_latency, req);
     (req.is_write ? n_.stores_in : n_.loads_in) += 1;
     if (!req.is_write)
@@ -44,7 +46,7 @@ MemoryPartition::payloadBytes(Addr line)
 }
 
 std::pair<int, int>
-MemoryPartition::metadataCost(Addr line, Cycle now)
+MemoryPartition::metadataCost(Addr line, Cycle now, bool is_write)
 {
     // Page walk: a TLB miss costs one page-table burst in EVERY design
     // (paper footnote 4).
@@ -58,7 +60,11 @@ MemoryPartition::metadataCost(Addr line, Cycle now)
     if (!design_.mem_compressed || !design_.md_overhead)
         return {0, bursts};
     ++n_.md_lookups;
-    if (!md_.access(line)) {
+    // A write changes the line's burst count, so the MD line is updated
+    // (dirtied); a dirty MD victim is a metadata writeback that costs a
+    // real access to reserved DRAM.
+    bool md_writeback = false;
+    if (!md_.access(line, is_write, &md_writeback)) {
         ++n_.md_misses;
         if (trace::on(trace::kCache)) {
             trace::instant(trace::kCache, trace::kPidCache, 200 + id_,
@@ -72,12 +78,18 @@ MemoryPartition::metadataCost(Addr line, Cycle now)
             bursts += cfg_.md_miss_bursts;
         }
     }
+    if (md_writeback) {
+        ++n_.md_writebacks;
+        bursts += cfg_.md_miss_bursts;
+    }
     return {cfg_.md_miss_latency, bursts};
 }
 
 void
 MemoryPartition::issueDramRead(const MemRequest &req, Cycle now)
 {
+    if (audit_)
+        audit_->onStage(req, ReqStage::DramWait);
     // Merge onto an outstanding read of the same line if one exists.
     auto lit = line_read_.find(req.line);
     if (lit != line_read_.end()) {
@@ -90,7 +102,8 @@ MemoryPartition::issueDramRead(const MemRequest &req, Cycle now)
         ++n_.dram_stall_events;
         return;
     }
-    const auto [extra_lat, extra_bursts] = metadataCost(req.line, now);
+    const auto [extra_lat, extra_bursts] =
+        metadataCost(req.line, now, false);
     DramCmd cmd;
     cmd.id = next_dram_id_++;
     cmd.line = req.line;
@@ -102,6 +115,12 @@ MemoryPartition::issueDramRead(const MemRequest &req, Cycle now)
     cmd.enqueued = now;
     dram_.enqueue(cmd);
     n_.transfer_bursts += static_cast<std::uint64_t>(cmd.bursts);
+    if (fault_double_count_burst_) {
+        // Seeded fault: the ledger charges this read twice, the way a
+        // retry path that recounts would. The audit must notice.
+        n_.transfer_bursts += static_cast<std::uint64_t>(cmd.bursts);
+        fault_double_count_burst_ = false;
+    }
     n_.transfer_bursts_uncompressed += kBurstsPerLine;
     line_read_[req.line] = cmd.id;
     dram_reads_[cmd.id] = {req};
@@ -116,7 +135,7 @@ MemoryPartition::issueDramWrite(Addr line, Cycle now, bool partial_uncached)
         writeback_stalled_.push_back(line);
         return;
     }
-    const auto [extra_lat, extra_bursts] = metadataCost(line, now);
+    const auto [extra_lat, extra_bursts] = metadataCost(line, now, true);
     DramCmd cmd;
     cmd.id = next_dram_id_++;
     cmd.line = line;
@@ -160,6 +179,8 @@ MemoryPartition::makeReply(const MemRequest &req, Cycle now, bool from_dram)
         ready += getCodec(design_.algo).hwDecompressLatency();
         ++n_.mc_decompressions;
     }
+    if (audit_)
+        audit_->onStage(reply, ReqStage::Replied);
     reply_wait_.emplace_back(ready, reply);
     ++n_.replies;
     n_.service_latency_total += now - req.created;
@@ -194,6 +215,8 @@ MemoryPartition::handleL2Ready(const MemRequest &req, Cycle now)
             if (ev.dirty)
                 issueDramWrite(ev.line, now, false);
         }
+        if (audit_)
+            audit_->onRetire(req);  // absorbed by the L2 slice
         return;
     }
 
@@ -207,6 +230,8 @@ MemoryPartition::handleL2Ready(const MemRequest &req, Cycle now)
         // Uncompressed memory: write through the dirty bytes directly.
         ++n_.partial_store_writethrough;
         issueDramWrite(req.line, now, true);
+        if (audit_)
+            audit_->onRetire(req);
     }
 }
 
@@ -237,6 +262,8 @@ MemoryPartition::handleDramCompletion(const DramCompletion &done, Cycle now)
     for (const MemRequest &w : waiters) {
         if (!w.is_write)
             makeReply(w, now, true);
+        else if (audit_)
+            audit_->onRetire(w);    // partial-store fill merged
     }
 }
 
@@ -322,6 +349,7 @@ MemoryPartition::stats() const
     s.setCounter("md_lookups", n_.md_lookups);
     s.setCounter("md_misses", n_.md_misses);
     s.setCounter("md_piggybacked", n_.md_piggybacked);
+    s.setCounter("md_writebacks", n_.md_writebacks);
     s.setCounter("tlb_misses", n_.tlb_misses);
     s.setCounter("dram_read_merges", n_.dram_read_merges);
     s.setCounter("dram_stall_events", n_.dram_stall_events);
@@ -344,6 +372,44 @@ MemoryPartition::busy() const
     return !l2_pipe_.empty() || !dram_stalled_.empty() ||
            !writeback_stalled_.empty() || !dram_reads_.empty() ||
            !replies_.empty() || !reply_wait_.empty() || dram_.busy();
+}
+
+void
+MemoryPartition::audit(Audit &a, bool at_drain) const
+{
+    a.checkEq("l2", "hits + misses == accesses", l2_.hits() + l2_.misses(),
+              l2_.accesses());
+    a.checkEq("md", "hits + misses == accesses", md_.hits() + md_.misses(),
+              md_.accesses());
+    a.checkEq("tlb", "hits + misses == accesses",
+              tlb_.hits() + tlb_.misses(), tlb_.accesses());
+    a.checkEq("part", "md_lookups == MD cache accesses", n_.md_lookups,
+              md_.accesses());
+    a.checkLe("part", "dram writes done <= issued", n_.dram_writes_done,
+              n_.dram_writes_issued);
+    a.checkLe("part", "replies <= loads_in", n_.replies, n_.loads_in);
+    // The transfer ledger counts bursts at enqueue; the channel's data
+    // ledger counts them at issue, so enqueue leads issue until drain.
+    a.checkLe("part", "dram data bursts <= transfer bursts",
+              dram_.dataBursts(), n_.transfer_bursts);
+    dram_.audit(a, at_drain);
+    if (!at_drain)
+        return;
+    a.checkEq("part", "transfer bursts == dram data bursts at drain",
+              n_.transfer_bursts, dram_.dataBursts());
+    a.checkEq("part", "every load replied at drain", n_.loads_in,
+              n_.replies);
+    a.checkEq("part", "every DRAM write completed at drain",
+              n_.dram_writes_issued, n_.dram_writes_done);
+    a.checkTrue("part", "L2 pipe empty at drain", l2_pipe_.empty());
+    a.checkTrue("part", "no stalled DRAM reads at drain",
+                dram_stalled_.empty());
+    a.checkTrue("part", "no stalled writebacks at drain",
+                writeback_stalled_.empty());
+    a.checkTrue("part", "no outstanding DRAM reads at drain",
+                dram_reads_.empty() && line_read_.empty());
+    a.checkTrue("part", "reply queues empty at drain",
+                reply_wait_.empty() && replies_.empty());
 }
 
 double

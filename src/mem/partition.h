@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/component.h"
 #include "common/stats.h"
 #include "gpu/design.h"
@@ -95,6 +96,17 @@ class MemoryPartition : public Clocked, public Sink<MemRequest>
     /** Snapshot of every partition counter. */
     StatSet stats() const;
 
+    /** Registers the request-lifecycle / invariant audit. */
+    void attachAudit(Audit *audit) { audit_ = audit; }
+
+    /** Mutation self-test hook: count the next DRAM read's data bursts
+     *  twice in the transfer ledger (simulates a double-count bug). */
+    void faultDoubleCountNextBurst() { fault_double_count_burst_ = true; }
+
+    /** Stat identities and queue-drain checks for the whole partition
+     *  (L2, MD cache, TLB, DRAM channel, transfer-burst ledger). */
+    void audit(Audit &a, bool at_drain) const;
+
   private:
     /** Payload size of line data at this level for the current design. */
     int payloadBytes(Addr line);
@@ -117,7 +129,7 @@ class MemoryPartition : public Clocked, public Sink<MemRequest>
      * and the metadata fetch (compressed designs, unless it piggybacks
      * on a concurrent page walk).
      */
-    std::pair<int, int> metadataCost(Addr line, Cycle now);
+    std::pair<int, int> metadataCost(Addr line, Cycle now, bool is_write);
 
     int id_;
     PartitionConfig cfg_;
@@ -163,6 +175,7 @@ class MemoryPartition : public Clocked, public Sink<MemRequest>
         std::uint64_t md_lookups = 0;
         std::uint64_t md_misses = 0;
         std::uint64_t md_piggybacked = 0;
+        std::uint64_t md_writebacks = 0;
         std::uint64_t tlb_misses = 0;
         std::uint64_t dram_read_merges = 0;
         std::uint64_t dram_stall_events = 0;
@@ -175,6 +188,8 @@ class MemoryPartition : public Clocked, public Sink<MemRequest>
         std::uint64_t partial_store_writethrough = 0;
     };
     Counters n_;
+    Audit *audit_ = nullptr;
+    bool fault_double_count_burst_ = false;
 };
 
 } // namespace caba

@@ -57,6 +57,15 @@ XbarDirection::push(int in, int out, const MemRequest &req)
 {
     CABA_CHECK(canPush(in), "crossbar input overflow");
     CABA_CHECK(out >= 0 && out < outputs_, "bad crossbar output");
+    ++pushed_;
+    if (audit_)
+        audit_->onStage(req, stage_);
+    if (fault_drop_next_store_ && req.is_write) {
+        // Seeded fault: the packet vanishes after being counted in, the
+        // way a real lost-update bug would. The audit must notice.
+        fault_drop_next_store_ = false;
+        return;
+    }
     in_q_[in].emplace_back(out, req);
     ++queued_packets_;
 }
@@ -101,6 +110,7 @@ XbarDirection::cycle(Cycle now)
             port_busy_until_[out] = now + flits;
             flying_.push_back({req, out, now + flits + cfg_.latency});
             ++flying_per_out_[out];
+            ++arbitrated_;
             stats_.add("packets");
             stats_.add("flits", static_cast<std::uint64_t>(flits));
             if (trace::on(trace::kXbar)) {
@@ -128,6 +138,7 @@ XbarDirection::popDelivery(int out)
     CABA_CHECK(!out_q_[out].empty(), "no delivery to pop");
     MemRequest req = out_q_[out].front().req;
     out_q_[out].pop_front();
+    ++popped_;
     return req;
 }
 
@@ -167,6 +178,24 @@ XbarDirection::nextWork(Cycle now) const
         e = std::min(e, free_at > now ? free_at : now);
     }
     return e;
+}
+
+void
+XbarDirection::audit(Audit &a, const char *name, bool at_drain) const
+{
+    std::uint64_t delivered_waiting = 0;
+    for (const auto &q : out_q_)
+        delivered_waiting += q.size();
+    a.checkEq(name, "pushed == arbitrated + input-queued", pushed_,
+              arbitrated_ + static_cast<std::uint64_t>(queued_packets_));
+    a.checkEq(name, "arbitrated == popped + flying + output-queued",
+              arbitrated_,
+              popped_ + static_cast<std::uint64_t>(flying_.size()) +
+                  delivered_waiting);
+    if (at_drain) {
+        a.checkEq(name, "all packets popped at drain", pushed_, popped_);
+        a.checkTrue(name, "queues empty at drain", !busy());
+    }
 }
 
 bool

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/component.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -67,6 +68,23 @@ class XbarDirection : public Clocked
     Cycle nextWork(Cycle now) const override;
 
     const StatSet &stats() const { return stats_; }
+
+    /** Registers the lifecycle audit; packets entering this direction
+     *  are tagged with @p stage (request vs reply side). */
+    void
+    attachAudit(Audit *audit, ReqStage stage)
+    {
+        audit_ = audit;
+        stage_ = stage;
+    }
+
+    /** Mutation self-test hook: silently lose the next write packet
+     *  pushed into any input (simulates a buggy switch). */
+    void faultDropNextStore() { fault_drop_next_store_ = true; }
+
+    /** Packet conservation: pushed == arbitrated + input-queued,
+     *  arbitrated == popped + in-flight + output-queued; empty at drain. */
+    void audit(Audit &a, const char *name, bool at_drain) const;
 
     /** Destination output port for a packet entering any input (set
      *  once at wiring time: partition interleave / reply routing). */
@@ -138,6 +156,14 @@ class XbarDirection : public Clocked
     std::vector<int> flying_per_out_;
     int queued_packets_ = 0;
     StatSet stats_;
+    Audit *audit_ = nullptr;
+    ReqStage stage_ = ReqStage::XbarReq;
+    bool fault_drop_next_store_ = false;
+
+    // audit-only conservation counters (not exported in stats_)
+    std::uint64_t pushed_ = 0;
+    std::uint64_t arbitrated_ = 0;
+    std::uint64_t popped_ = 0;
     std::function<int(const MemRequest &)> router_;
     std::vector<InPort> in_ports_;
     std::vector<OutPort> out_ports_;

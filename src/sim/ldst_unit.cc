@@ -1,5 +1,6 @@
 #include "sim/ldst_unit.h"
 
+#include "common/audit.h"
 #include "common/log.h"
 #include "common/trace.h"
 #include "sim/sm_core.h"
@@ -59,6 +60,12 @@ LdstUnit::loadLineDone(int slot)
     CABA_CHECK(pl.active, "completion for dead load");
     if (--pl.lines_left == 0) {
         hooks_->clearPending(pl.warp, pl.regmask);
+        if (fault_leak_load_slot_) {
+            // Seeded fault: the warp proceeds but the slot is never
+            // freed -- invisible to drained(). The audit must notice.
+            fault_leak_load_slot_ = false;
+            return;
+        }
         pl.active = false;
         free_load_slots_.push_back(slot);
     }
@@ -78,7 +85,7 @@ LdstUnit::completeFill(Addr line, int bytes)
 }
 
 bool
-LdstUnit::issuePrefetch(Addr line)
+LdstUnit::issuePrefetch(Addr line, Cycle now)
 {
     if (!l1_.contains(line) && !mshrs_.count(line) &&
         static_cast<int>(mshrs_.size()) < mshr_entries_ &&
@@ -90,6 +97,8 @@ LdstUnit::issuePrefetch(Addr line)
         req.src_sm = sm_id_;
         req.payload_bytes = 8;
         out_req_.push(req);
+        if (audit_)
+            audit_->onInject(req, now);
         return true;
     }
     return false;
@@ -146,6 +155,8 @@ LdstUnit::drain(Cycle now)
                 req.created = now;
                 req.payload_bytes = 8;  // read request header
                 out_req_.push(req);
+                if (audit_)
+                    audit_->onInject(req, now);
                 ++st_.cursor;
                 continue;
             }
@@ -180,6 +191,23 @@ LdstUnit::drain(Cycle now)
     if (st_.cursor >= st_.access.lines.size())
         st_.busy = false;
     return false;
+}
+
+void
+LdstUnit::audit(Audit &a, bool at_drain) const
+{
+    a.checkEq("l1", "hits + misses == accesses",
+              l1_.hits() + l1_.misses(), l1_.accesses());
+    std::uint64_t active = 0;
+    for (const PendingLoad &pl : loads_)
+        active += pl.active ? 1 : 0;
+    a.checkEq("ldst", "active + free load slots == pool size",
+              active + free_load_slots_.size(), loads_.size());
+    if (!at_drain)
+        return;
+    a.checkEq("ldst", "no active load slots at drain", active, 0);
+    a.checkTrue("ldst", "MSHRs empty at drain", mshrs_.empty());
+    a.checkTrue("ldst", "out-queue empty at drain", out_req_.empty());
 }
 
 } // namespace caba

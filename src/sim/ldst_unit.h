@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/component.h"
 #include "mem/cache.h"
 #include "mem/request.h"
@@ -102,7 +103,7 @@ class LdstUnit
     void completeFill(Addr line, int bytes);
 
     /** Prefetch issue if the line is absent and resources allow. */
-    bool issuePrefetch(Addr line);
+    bool issuePrefetch(Addr line, Cycle now);
 
     // -- state queries --
 
@@ -119,6 +120,17 @@ class LdstUnit
     std::uint64_t loadHits() const { return l1_load_hits_; }
     std::uint64_t loadMisses() const { return l1_load_misses_; }
     std::uint64_t mshrMerges() const { return mshr_merges_; }
+
+    /** Registers the request-lifecycle audit. */
+    void attachAudit(Audit *audit) { audit_ = audit; }
+
+    /** Mutation self-test hook: the next load slot that completes is
+     *  never returned to the free pool (simulates a slot leak, which
+     *  drained() does not see). */
+    void faultLeakNextLoadSlot() { fault_leak_load_slot_ = true; }
+
+    /** Slot-pool conservation and drain-time emptiness checks. */
+    void audit(Audit &a, bool at_drain) const;
 
   private:
     struct State
@@ -149,6 +161,8 @@ class LdstUnit
     std::uint64_t l1_load_hits_ = 0;
     std::uint64_t l1_load_misses_ = 0;
     std::uint64_t mshr_merges_ = 0;
+    Audit *audit_ = nullptr;
+    bool fault_leak_load_slot_ = false;
 };
 
 } // namespace caba

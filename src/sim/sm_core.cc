@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.h"
 #include "common/log.h"
 #include "common/trace.h"
 
@@ -197,17 +198,18 @@ SmCore::routeStore(Addr line, bool full_line, int warp, Cycle now)
             // Buffer overflow: release uncompressed (Section 4.2.2,
             // step 4).
             ++n_.store_buffer_overflows;
-            emitStoreRequest(line, full_line, false);
+            emitStoreRequest(line, full_line, false, now);
         }
     } else {
         const bool hw_compress =
             design_.xbar_compressed && design_.usesCompression();
-        emitStoreRequest(line, full_line, hw_compress);
+        emitStoreRequest(line, full_line, hw_compress, now);
     }
 }
 
 void
-SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok)
+SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok,
+                         Cycle now)
 {
     MemRequest req;
     req.id = next_req_id_++;
@@ -228,6 +230,8 @@ SmCore::emitStoreRequest(Addr line, bool full_line, bool compressed_ok)
         ++n_.stores_sent_uncompressed;
     }
     ldst_.out().push(req);
+    if (audit_)
+        audit_->onInject(req, now);
 }
 
 bool
@@ -307,7 +311,8 @@ SmCore::reapAssistWarps(Cycle now)
             ++n_.caba_compressions;
             auto it = comp_stores_.find(aw.token);
             CABA_CHECK(it != comp_stores_.end(), "orphan compress warp");
-            emitStoreRequest(it->second.line, it->second.full_line, true);
+            emitStoreRequest(it->second.line, it->second.full_line, true,
+                             now);
             comp_stores_.erase(it);
             break;
           }
@@ -316,7 +321,7 @@ SmCore::reapAssistWarps(Cycle now)
             break;
           case AssistPurpose::Prefetch:
             // Issue the prefetch if it is useful and resources allow.
-            if (ldst_.issuePrefetch(aw.line))
+            if (ldst_.issuePrefetch(aw.line, now))
                 ++n_.prefetches_issued;
             else
                 ++n_.prefetches_dropped;
@@ -348,6 +353,8 @@ SmCore::completeFill(Addr line, Cycle now)
 void
 SmCore::deliver(const MemRequest &reply, Cycle now)
 {
+    if (audit_)
+        audit_->onRetire(reply);
     ++n_.fills;
     n_.fill_latency_total += now - reply.created;
     fill_latency_dist_.record(now - reply.created);
@@ -763,6 +770,26 @@ SmCore::stats() const
     s.setCounter("prefetches_dropped", n_.prefetches_dropped);
     s.dist("fill_latency").merge(fill_latency_dist_);
     return s;
+}
+
+void
+SmCore::audit(Audit &a, bool at_drain) const
+{
+    ldst_.audit(a, at_drain);
+    awc_.audit(a);
+    if (!at_drain)
+        return;
+    // Every reply delivered is either a demand miss that sent a request
+    // (merges ride an existing MSHR) or an issued prefetch.
+    a.checkEq("sm", "fills == misses - merges + prefetches at drain",
+              n_.fills,
+              ldst_.loadMisses() - ldst_.mshrMerges() +
+                  n_.prefetches_issued);
+    a.checkTrue("sm", "no buffered compress stores at drain",
+                comp_stores_.empty());
+    a.checkTrue("sm", "no queued fills at drain", pending_fills_.empty());
+    a.checkEq("sm", "no outstanding pipeline events at drain",
+              static_cast<std::uint64_t>(outstanding_events_), 0);
 }
 
 bool

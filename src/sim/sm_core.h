@@ -166,6 +166,22 @@ class SmCore : public Clocked,
 
     /** Snapshot of every per-SM counter. */
     StatSet stats() const;
+
+    /** Registers the request-lifecycle audit (forwards to the LDST
+     *  unit, which injects and the core, which retires). */
+    void
+    attachAudit(Audit *audit)
+    {
+        audit_ = audit;
+        ldst_.attachAudit(audit);
+    }
+
+    /** Mutation self-test hook (see LdstUnit::faultLeakNextLoadSlot). */
+    void faultLeakNextLoadSlot() { ldst_.faultLeakNextLoadSlot(); }
+
+    /** Core-level invariants: LDST/AWC checks, the fill identity, and
+     *  drain-time emptiness of the CABA bookkeeping. */
+    void audit(Audit &a, bool at_drain) const;
     const Cache &l1() const { return ldst_.l1(); }
     const AssistWarpController &awc() const { return awc_; }
     std::uint64_t instructionsIssued() const { return instr_issued_; }
@@ -221,7 +237,8 @@ class SmCore : public Clocked,
     bool tryIssueAssist(AssistWarp &aw, Cycle now);
     void scheduleEvent(Cycle at, Event ev, Cycle now);
     void completeFill(Addr line, Cycle now);
-    void emitStoreRequest(Addr line, bool full_line, bool compressed_ok);
+    void emitStoreRequest(Addr line, bool full_line, bool compressed_ok,
+                          Cycle now);
     bool triggerDecompress(Addr line, AssistPurpose purpose,
                            std::uint64_t token, Cycle now);
     void maybePrefetch(Addr line, int stream, Cycle now);
@@ -310,6 +327,7 @@ class SmCore : public Clocked,
     };
     Counters n_;
     std::uint64_t stats_add_store_kill_ = 0;
+    Audit *audit_ = nullptr;
 };
 
 } // namespace caba

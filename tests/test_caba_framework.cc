@@ -169,6 +169,91 @@ TEST(Awc, KillByTokenFlushesEntries)
     EXPECT_EQ(awc.table()[0].token, 9u);
 }
 
+TEST(Awc, EligibilityMatchesReferenceScanUnderChurn)
+{
+    // eligible() keeps the low-priority staging order incrementally
+    // (O(1)) instead of rescanning the AWT. Drive the controller through
+    // a randomized trigger/reap/kill churn and check every entry against
+    // a literal reimplementation of the scan it replaced.
+    CabaConfig cfg;
+    cfg.awt_entries = 16;
+    cfg.awb_low_slots = 2;
+    cfg.throttle = false;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+
+    std::uint64_t rng = 12345;
+    const auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+
+    Cycle now = 0;
+    for (int step = 0; step < 500; ++step) {
+        const std::uint64_t roll = next() % 10;
+        if (roll < 6) {
+            const AssistPriority prio = next() % 2 == 0
+                                            ? AssistPriority::High
+                                            : AssistPriority::Low;
+            awc.trigger(makeWarp(&code, prio, next() % 4));
+        } else if (roll < 8 && !awc.table().empty()) {
+            // Finish a random entry and reap it.
+            AssistWarp &aw = awc.table()[next() % awc.table().size()];
+            aw.next = static_cast<int>(code.size());
+            aw.ready_at = now;
+            std::vector<AssistWarp> done;
+            awc.reapFinished(now, &done);
+        } else {
+            awc.killByToken(next() % 4, AssistPurpose::DecompressFill);
+        }
+        ++now;
+
+        // Reference: the first awb_low_slots low-priority entries in
+        // table order hold the staging slots (the pre-fix scan).
+        int low_seen = 0;
+        for (const AssistWarp &aw : awc.table()) {
+            bool ref = true;
+            if (aw.priority == AssistPriority::Low) {
+                ref = low_seen < cfg.awb_low_slots;
+                ++low_seen;
+            }
+            ASSERT_EQ(awc.eligible(aw), ref)
+                << "step " << step << " id " << aw.id;
+        }
+    }
+}
+
+TEST(Awc, ZeroLowSlotsBlocksAllLowPriorityWarps)
+{
+    CabaConfig cfg;
+    cfg.awb_low_slots = 0;
+    cfg.throttle = false;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    awc.trigger(makeWarp(&code, AssistPriority::Low));
+    awc.trigger(makeWarp(&code, AssistPriority::High));
+    EXPECT_FALSE(awc.eligible(awc.table()[0]));
+    EXPECT_TRUE(awc.eligible(awc.table()[1]));
+}
+
+TEST(Awc, ReapBeforeSpawnIsASimulatorBug)
+{
+    // The old code silently clamped a negative latency to zero; now a
+    // time-travelling completion aborts instead of polluting the
+    // latency distribution.
+    CabaConfig cfg;
+    AssistWarpController awc(cfg);
+    const std::vector<AssistInstr> code = {{false, 1}};
+    AssistWarp aw = makeWarp(&code, AssistPriority::High);
+    aw.spawned = 100;
+    awc.trigger(aw);
+    awc.table()[0].next = static_cast<int>(code.size());
+    awc.table()[0].ready_at = 0;
+    std::vector<AssistWarp> done;
+    EXPECT_DEATH(awc.reapFinished(50, &done),
+                 "completed before its spawn");
+}
+
 TEST(Awc, IdleWindowIsSliding)
 {
     CabaConfig cfg;

@@ -112,5 +112,52 @@ TEST(CompressionModel, TracksAggregateRatio)
               32u * kBurstsPerLine);
 }
 
+TEST(CompressionModel, MemoIsBoundedAndReportsPeak)
+{
+    BackingStore s(smallIntGen());
+    CompressionModel m(s, Algorithm::Bdi, true, /*memo_cap=*/8);
+    for (Addr line = 0; line < 64 * kLineSize; line += kLineSize)
+        m.lookup(line);
+    EXPECT_LE(m.memoEntries(), 8u);
+    EXPECT_EQ(m.memoCapacity(), 8u);
+    EXPECT_EQ(m.stats().get("memo_evictions"), 64u - 8u);
+    EXPECT_EQ(m.stats().get("memo_peak_entries"), 8u);
+    EXPECT_GT(m.stats().get("memo_peak_bytes"), 0u);
+    // Eviction is purely a caching concern: every line was still
+    // compressed exactly once.
+    EXPECT_EQ(m.stats().get("lines_compressed"), 64u);
+}
+
+TEST(CompressionModel, MemoEvictsLeastRecentlyUsed)
+{
+    BackingStore s(smallIntGen());
+    CompressionModel m(s, Algorithm::Bdi, true, /*memo_cap=*/2);
+    const Addr a = 0, b = kLineSize, c = 2 * kLineSize;
+    m.lookup(a);
+    m.lookup(b);
+    m.lookup(a);                // refresh a: b is now the LRU victim
+    m.lookup(c);                // evicts b, not a
+    EXPECT_EQ(m.stats().get("lines_compressed"), 3u);
+    m.lookup(a);                // still memoized: no recompression
+    EXPECT_EQ(m.stats().get("lines_compressed"), 3u);
+    m.lookup(b);                // was evicted: recompressed
+    EXPECT_EQ(m.stats().get("lines_compressed"), 4u);
+    EXPECT_EQ(m.stats().get("memo_evictions"), 2u);
+}
+
+TEST(CompressionModel, EvictedLinesRecompressCorrectlyAfterWrites)
+{
+    BackingStore s(smallIntGen());
+    CompressionModel m(s, Algorithm::Bdi, true, /*memo_cap=*/4);
+    // Mutate lines while the memo churns; verify=true round-trips every
+    // compression, so any stale image would panic.
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr line = 0; line < 16 * kLineSize; line += kLineSize) {
+            s.writePartial(line, 8 * pass, 8);
+            EXPECT_GT(m.compressedSize(line), 0);
+        }
+    EXPECT_LE(m.memoEntries(), 4u);
+}
+
 } // namespace
 } // namespace caba

@@ -220,6 +220,49 @@ TEST(Partition, MdMissWithTlbHitChargesItsOwnBurst)
               h.part.stats().get("md_misses"));
 }
 
+TEST(Partition, DirtyMetadataEvictionsChargeWritebacks)
+{
+    // Stores update metadata in place, so the MD entry they touch is
+    // dirty; once the working set overflows a small MD cache, evicting
+    // those entries must surface as md_writebacks with their own DRAM
+    // overhead burst (the bug fixed here: the store path used to insert
+    // clean and silently drop the eviction).
+    PartitionConfig cfg;
+    cfg.md_size_bytes = 512;    // 8 entries: 32 regions thrash it
+    cfg.model_tlb = false;      // no piggybacking; count bursts exactly
+    PartitionHarness h(DesignConfig::hw(), cfg);
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i < 32; ++i) {
+            h.part.accept(
+                h.makeStore(static_cast<Addr>(i) * (1u << 22), true),
+                h.now);
+            h.part.cycle(h.now++);
+        }
+    h.drain();
+    EXPECT_GT(h.part.stats().get("md_writebacks"), 0u);
+    // Each miss and each dirty writeback costs one overhead burst.
+    EXPECT_EQ(h.part.dram().stats().get("overhead_bursts"),
+              h.part.stats().get("md_misses") +
+                  h.part.stats().get("md_writebacks"));
+}
+
+TEST(Partition, LoadOnlyTrafficNeverDirtiesMetadata)
+{
+    PartitionConfig cfg;
+    cfg.md_size_bytes = 512;
+    cfg.model_tlb = false;
+    PartitionHarness h(DesignConfig::hw(), cfg);
+    for (int pass = 0; pass < 2; ++pass)
+        for (int i = 0; i < 32; ++i) {
+            h.part.accept(
+                h.makeLoad(static_cast<Addr>(i) * (1u << 22)), h.now);
+            h.part.cycle(h.now++);
+        }
+    h.drain();
+    EXPECT_GT(h.part.stats().get("md_misses"), 8u);
+    EXPECT_EQ(h.part.stats().get("md_writebacks"), 0u);
+}
+
 TEST(Partition, IdealDesignSkipsMetadataButStillWalksPages)
 {
     PartitionConfig cfg;
