@@ -1,9 +1,12 @@
 #include "common/audit.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
+#include <vector>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "mem/request.h"
 
@@ -16,7 +19,7 @@ namespace {
 const char *
 auditEnv()
 {
-    static const char *const spec = std::getenv("CABA_AUDIT");
+    static const char *const spec = env::raw("CABA_AUDIT");
     return spec;
 }
 
@@ -186,7 +189,15 @@ Audit::checkLifecycle(Cycle now, bool at_drain)
             retired_ + static_cast<std::uint64_t>(live_.size()));
     if (!at_drain)
         return;
-    for (const auto &[k, t] : live_) {
+    // Report orphans in key order: live_ is an unordered_map, and the
+    // failure dump must not depend on hash-bucket iteration order.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(live_.size());
+    for (const auto &entry : live_) // lint: order-insensitive — keys sorted below
+        keys.push_back(entry.first);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t k : keys) {
+        const Tracked &t = live_.at(k);
         std::ostringstream os;
         os << "lifecycle: orphan request (id " << (k >> 8) << ", SM "
            << (k & 0xff) << ", " << (t.is_write ? "store" : "load")

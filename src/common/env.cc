@@ -1,0 +1,111 @@
+#include "common/env.h"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace caba {
+namespace env {
+
+namespace {
+
+/* The registry proper. Adding a variable means adding a row here —
+ * nothing else: snapshotting, raw(), typed accessors and --help-env all
+ * derive from this table. Keep rows in the order users should read
+ * them. */
+constexpr std::array<Var, 6> kVars{{
+    {"CABA_SCALE", Type::Real, "1.0",
+     "Workload loop-trip multiplier, applied on top of any --scale flag; "
+     "non-positive or unset keeps the configured scale."},
+    {"CABA_JOBS", Type::Int, "hardware concurrency",
+     "Sweep worker threads (1 = serial); ExperimentOptions::jobs wins "
+     "when positive."},
+    {"CABA_AUDIT", Type::Str, "end",
+     "Self-consistency audit level: off|end|full|<period-cycles>."},
+    {"CABA_TRACE", Type::Str, "(unset: tracing off)",
+     "Chrome trace-event output path; presence enables tracing for the "
+     "whole process."},
+    {"CABA_TRACE_CATEGORIES", Type::Str, "all",
+     "Comma-separated trace categories: warp,assist,cache,dram,xbar,all."},
+    {"CABA_NO_FASTFORWARD", Type::Flag, "(unset: fast-forward on)",
+     "Force cycle-by-cycle simulation, disabling quiescence fast-forward "
+     "(the CI determinism smoke job byte-diffs both modes)."},
+}};
+
+std::size_t
+indexOf(const char *name)
+{
+    for (std::size_t i = 0; i < kVars.size(); ++i)
+        if (std::strcmp(kVars[i].name, name) == 0)
+            return i;
+    CABA_PANIC("env: variable not in registry (add it to common/env.cc)");
+}
+
+const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::Flag: return "flag";
+      case Type::Int: return "int";
+      case Type::Real: return "real";
+      case Type::Str: return "string";
+    }
+    return "?";
+}
+
+} // namespace
+
+const std::vector<Var> &
+registry()
+{
+    static const std::vector<Var> vars(kVars.begin(), kVars.end());
+    return vars;
+}
+
+const char *
+raw(const char *name)
+{
+    return std::getenv(kVars[indexOf(name)].name);
+}
+
+bool
+flagSet(const char *name)
+{
+    return raw(name) != nullptr;
+}
+
+int
+positiveIntOr(const char *name, int fallback)
+{
+    const char *v = raw(name);
+    if (!v)
+        return fallback;
+    const int parsed = std::atoi(v);
+    return parsed > 0 ? parsed : fallback;
+}
+
+double
+positiveRealOr(const char *name, double fallback)
+{
+    const char *v = raw(name);
+    if (!v)
+        return fallback;
+    const double parsed = std::atof(v);
+    return parsed > 0.0 ? parsed : fallback;
+}
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out, "Environment variables (all optional):\n");
+    for (const Var &v : registry()) {
+        std::fprintf(out, "  %-22s %-7s default: %s\n", v.name,
+                     typeName(v.type), v.fallback);
+        std::fprintf(out, "      %s\n", v.doc);
+    }
+}
+
+} // namespace env
+} // namespace caba

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/env.h"
 #include "common/json.h"
 #include "common/log.h"
 
@@ -138,11 +139,11 @@ struct EnvActivation
 {
     EnvActivation()
     {
-        const char *path = std::getenv("CABA_TRACE");
+        const char *path = env::raw("CABA_TRACE");
         if (!path || !*path)
             return;
         unsigned mask = kAll;
-        if (const char *cats = std::getenv("CABA_TRACE_CATEGORIES"))
+        if (const char *cats = env::raw("CABA_TRACE_CATEGORIES"))
             mask = maskFromNames(cats);
         start(path, mask);
         std::atexit([] { stop(); });

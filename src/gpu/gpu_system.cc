@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/log.h"
 
 namespace caba {
@@ -25,7 +25,7 @@ scaledDram(DramConfig dram, double bw_scale)
 bool
 noFastForwardEnv()
 {
-    static const bool set = std::getenv("CABA_NO_FASTFORWARD") != nullptr;
+    static const bool set = env::flagSet("CABA_NO_FASTFORWARD");
     return set;
 }
 

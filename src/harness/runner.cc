@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <optional>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "common/self_profile.h"
 
@@ -16,13 +16,7 @@ scaleFromEnv(double fallback)
     // Cached on first use (thread-safe magic static): runApp executes on
     // sweep worker threads, and getenv is not guaranteed safe against
     // concurrent environment mutation.
-    static const double env_scale = [] {
-        const char *env = std::getenv("CABA_SCALE");
-        if (!env)
-            return 0.0;
-        const double v = std::atof(env);
-        return v > 0.0 ? v : 0.0;
-    }();
+    static const double env_scale = env::positiveRealOr("CABA_SCALE", 0.0);
     return env_scale > 0.0 ? env_scale : fallback;
 }
 

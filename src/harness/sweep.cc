@@ -1,9 +1,9 @@
 #include "harness/sweep.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "common/self_profile.h"
 #include "common/thread_pool.h"
@@ -13,11 +13,7 @@ namespace caba {
 int
 sweepJobsFromEnv(int fallback)
 {
-    const char *env = std::getenv("CABA_JOBS");
-    if (!env)
-        return fallback;
-    const int v = std::atoi(env);
-    return v > 0 ? v : fallback;
+    return env::positiveIntOr("CABA_JOBS", fallback);
 }
 
 Sweep::Sweep(const std::vector<AppDescriptor> &apps,

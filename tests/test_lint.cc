@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for caba-lint (tools/lint): every rule must fire on its
+ * fixture with the expected count, annotations and whitelists must
+ * suppress, the JSON report must be well-formed, and the real source
+ * tree must lint clean against the committed (empty) baseline.
+ *
+ * Fixture files live in tools/lint/fixtures/ and are linted under
+ * fake src/ paths so the src-only rules (iteration-order,
+ * check-discipline, stat-hygiene) apply to them.
+ */
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+#include "mini_json.h"
+
+#ifndef CABA_LINT_SOURCE_ROOT
+#error "CABA_LINT_SOURCE_ROOT must be defined by the build"
+#endif
+#ifndef CABA_LINT_FIXTURE_DIR
+#error "CABA_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using caba::lint::Finding;
+using caba::lint::SourceFile;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Loads a fixture and poses it as a file under src/. */
+SourceFile
+fixture(const std::string &name)
+{
+    SourceFile f;
+    f.path = "src/" + name;
+    f.text = slurp(std::string(CABA_LINT_FIXTURE_DIR) + "/" + name);
+    return f;
+}
+
+std::map<std::string, int>
+countByRule(const std::vector<Finding> &findings)
+{
+    std::map<std::string, int> counts;
+    for (const Finding &f : findings)
+        ++counts[f.rule];
+    return counts;
+}
+
+TEST(Lint, DeterminismClockAndRandSources)
+{
+    auto findings = caba::lint::run({fixture("det_clocks.cc")});
+    EXPECT_EQ(findings.size(), 7u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "determinism");
+        EXPECT_EQ(f.file, "src/det_clocks.cc");
+        EXPECT_GT(f.line, 0);
+    }
+}
+
+TEST(Lint, DeterminismPointerSortPredicates)
+{
+    auto findings = caba::lint::run({fixture("det_ptr_sort.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "determinism");
+        EXPECT_NE(f.message.find("pointer"), std::string::npos)
+            << f.message;
+    }
+}
+
+TEST(Lint, DeterminismWhitelistSuppresses)
+{
+    // The same content under a whitelisted path produces no findings.
+    SourceFile f = fixture("det_clocks.cc");
+    f.path = "src/common/self_profile.cc";
+    EXPECT_TRUE(caba::lint::run({f}).empty());
+}
+
+TEST(Lint, IterationOrderUnorderedRangeFor)
+{
+    auto findings = caba::lint::run({fixture("iter_unordered.cc")});
+    ASSERT_EQ(findings.size(), 3u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "iteration-order");
+    // Annotated loops (lines 39 and 43) must not appear.
+    for (const Finding &f : findings) {
+        EXPECT_NE(f.line, 39);
+        EXPECT_NE(f.line, 43);
+    }
+}
+
+TEST(Lint, IterationOrderOnlyEnforcedInSrc)
+{
+    // tests/ may iterate unordered containers freely.
+    SourceFile f = fixture("iter_unordered.cc");
+    f.path = "tests/iter_unordered.cc";
+    EXPECT_TRUE(caba::lint::run({f}).empty());
+}
+
+TEST(Lint, EnvAccessOutsideRegistry)
+{
+    auto findings = caba::lint::run({fixture("env_direct.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "env-access");
+}
+
+TEST(Lint, EnvAccessAllowedInRegistry)
+{
+    SourceFile f = fixture("env_direct.cc");
+    f.path = "src/common/env.cc";
+    EXPECT_TRUE(caba::lint::run({f}).empty());
+}
+
+TEST(Lint, CheckDisciplineBareAssert)
+{
+    auto findings = caba::lint::run({fixture("assert_bare.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "check-discipline");
+        EXPECT_NE(f.message.find("CABA_CHECK"), std::string::npos);
+    }
+}
+
+TEST(Lint, StatHygiene)
+{
+    auto findings = caba::lint::run({fixture("stats_bad.cc")});
+    ASSERT_EQ(findings.size(), 4u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "stat-hygiene");
+}
+
+TEST(Lint, CleanFixtureHasNoFindings)
+{
+    EXPECT_TRUE(caba::lint::run({fixture("clean.cc")}).empty());
+}
+
+TEST(Lint, FindingsAreSortedAndStable)
+{
+    std::vector<SourceFile> files = {fixture("stats_bad.cc"),
+                                     fixture("det_clocks.cc")};
+    auto a = caba::lint::run(files);
+    std::swap(files[0], files[1]);
+    auto b = caba::lint::run(files);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].rule, b[i].rule);
+        EXPECT_EQ(a[i].file, b[i].file);
+        EXPECT_EQ(a[i].line, b[i].line);
+        EXPECT_EQ(a[i].message, b[i].message);
+    }
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_LE(a[i - 1].file, a[i].file);
+}
+
+TEST(Lint, JsonReportShape)
+{
+    std::vector<SourceFile> files;
+    for (const char *name :
+         {"det_clocks.cc", "det_ptr_sort.cc", "iter_unordered.cc",
+          "env_direct.cc", "assert_bare.cc", "stats_bad.cc", "clean.cc"})
+        files.push_back(fixture(name));
+    auto findings = caba::lint::run(files);
+    auto by_rule = countByRule(findings);
+    EXPECT_EQ(by_rule["determinism"], 9);
+    EXPECT_EQ(by_rule["iteration-order"], 3);
+    EXPECT_EQ(by_rule["env-access"], 2);
+    EXPECT_EQ(by_rule["check-discipline"], 2);
+    EXPECT_EQ(by_rule["stat-hygiene"], 4);
+
+    const std::string json = caba::lint::toJson(findings, {});
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(json, &doc)) << json;
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->string, "caba-lint-v1");
+    const minijson::Value *counts = doc.find("counts");
+    ASSERT_NE(counts, nullptr);
+    auto count_of = [&](const char *key) {
+        const minijson::Value *v = counts->find(key);
+        return v && v->isNumber() ? static_cast<int>(v->number) : -1;
+    };
+    EXPECT_EQ(count_of("determinism"), 9);
+    EXPECT_EQ(count_of("iteration-order"), 3);
+    EXPECT_EQ(count_of("env-access"), 2);
+    EXPECT_EQ(count_of("check-discipline"), 2);
+    EXPECT_EQ(count_of("stat-hygiene"), 4);
+    EXPECT_EQ(count_of("total"), 20);
+    EXPECT_EQ(count_of("baselined"), 0);
+    const minijson::Value *arr = doc.find("findings");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_EQ(arr->array.size(), findings.size());
+    for (std::size_t i = 0; i < arr->array.size(); ++i) {
+        const minijson::Value &e = arr->array[i];
+        ASSERT_TRUE(e.isObject());
+        EXPECT_EQ(e.find("rule")->string, findings[i].rule);
+        EXPECT_EQ(e.find("file")->string, findings[i].file);
+        EXPECT_EQ(static_cast<int>(e.find("line")->number),
+                  findings[i].line);
+        EXPECT_EQ(e.find("message")->string, findings[i].message);
+        EXPECT_FALSE(e.find("baselined")->boolean);
+    }
+}
+
+TEST(Lint, BaselineRoundTrip)
+{
+    auto findings = caba::lint::run({fixture("env_direct.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    // A report can be fed back as a baseline; all findings then match
+    // even if line numbers drift.
+    const std::string json = caba::lint::toJson(findings, {});
+    std::vector<Finding> baseline;
+    std::string err;
+    ASSERT_TRUE(caba::lint::parseBaseline(json, &baseline, &err)) << err;
+    ASSERT_EQ(baseline.size(), 2u);
+    for (Finding &f : baseline)
+        f.line += 100; // lines are not part of the match key
+    std::vector<Finding> fresh, matched;
+    caba::lint::applyBaseline(findings, baseline, &fresh, &matched);
+    EXPECT_TRUE(fresh.empty());
+    EXPECT_EQ(matched.size(), 2u);
+}
+
+TEST(Lint, SourceTreeIsClean)
+{
+    std::vector<Finding> findings;
+    std::string err;
+    ASSERT_TRUE(caba::lint::runTree(CABA_LINT_SOURCE_ROOT, &findings, &err))
+        << err;
+
+    std::vector<Finding> baseline;
+    const std::string baseline_path =
+        std::string(CABA_LINT_SOURCE_ROOT) + "/tools/lint/baseline.json";
+    ASSERT_TRUE(
+        caba::lint::parseBaseline(slurp(baseline_path), &baseline, &err))
+        << err;
+    EXPECT_TRUE(baseline.empty())
+        << "the committed baseline should stay empty; fix findings "
+           "instead of baselining them";
+
+    std::vector<Finding> fresh, matched;
+    caba::lint::applyBaseline(findings, baseline, &fresh, &matched);
+    EXPECT_TRUE(fresh.empty()) << caba::lint::toText(fresh);
+}
+
+} // namespace

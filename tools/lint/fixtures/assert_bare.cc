@@ -1,0 +1,18 @@
+// caba-lint fixture: bare assert() instead of CABA_CHECK.
+// Expected findings (rule "check-discipline"): 2.
+#include <cassert>
+#include <cstddef>
+
+int
+fixtureChecked(int v)
+{
+    assert(v > 0); // finding 1: compiles out under NDEBUG
+    if (v > 1)
+        assert(v != 3); // finding 2
+    // Negative controls: static_assert is compile-time and fine; a
+    // member named assert is not the macro.
+    static_assert(sizeof(int) >= 2, "toy platforms unsupported");
+    struct Checker { void assert_ok() {} } c;
+    c.assert_ok();
+    return v;
+}

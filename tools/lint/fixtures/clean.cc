@@ -1,0 +1,23 @@
+// caba-lint fixture: negative control — zero findings expected.
+// Exercises the constructs adjacent to every rule's trigger.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+int
+fixtureClean(std::map<std::string, int> &ordered, caba::StatSet &s)
+{
+    caba::Rng rng(12345);                  // seeded PRNG is the sanctioned source
+    int total = static_cast<int>(rng.below(100));
+    for (const auto &[key, value] : ordered) // std::map iterates sorted
+        total += value;
+    std::vector<int> v{3, 1, 2};
+    std::sort(v.begin(), v.end(), [](int a, int b) { return a < b; });
+    s.add("fixture_clean_total", static_cast<std::uint64_t>(total));
+    const std::string rand_doc = "mentions rand and getenv in a string";
+    return total + static_cast<int>(rand_doc.size());
+}

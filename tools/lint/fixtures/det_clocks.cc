@@ -1,0 +1,33 @@
+// caba-lint fixture: determinism hazards — entropy and wall-clock reads.
+// Expected findings (rule "determinism"): 7.
+// Never compiled; linted by tests/test_lint.cc posing as a src/ file.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long
+fixtureEntropy()
+{
+    std::srand(42);                                      // finding 1: srand
+    unsigned long x = std::rand();                       // finding 2: rand
+    std::random_device rd;                               // finding 3
+    x += rd();
+    x += static_cast<unsigned long>(std::time(nullptr)); // finding 4
+    const auto a = std::chrono::steady_clock::now();     // finding 5
+    const auto b = std::chrono::system_clock::now();     // finding 6
+    const auto c = std::chrono::high_resolution_clock::now(); // finding 7
+    x += static_cast<unsigned long>(a.time_since_epoch().count());
+    x += static_cast<unsigned long>(b.time_since_epoch().count());
+    x += static_cast<unsigned long>(c.time_since_epoch().count());
+    // Negative controls: member access and non-std qualification.
+    // (Declaring a function *named* time would itself be flagged — the
+    // lexical pass cannot tell declarations from calls, and shadowing
+    // libc time() in the simulator is worth flagging anyway.)
+    struct Timer { long ticks(int) { return 0; } } t;
+    x += static_cast<unsigned long>(t.time(0)); // member access, not libc
+    // A steady_clock mention without ::now is type plumbing, not a read.
+    std::chrono::steady_clock::time_point unused{};
+    (void)unused;
+    return x;
+}

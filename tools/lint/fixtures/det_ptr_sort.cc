@@ -1,0 +1,32 @@
+// caba-lint fixture: pointer-value comparison in a sort predicate.
+// Expected findings (rule "determinism"): 2.
+#include <algorithm>
+#include <vector>
+
+struct Node
+{
+    int key;
+};
+
+void
+fixtureSort(std::vector<Node *> &v)
+{
+    // finding 1: comparator orders by address — heap layout leaks into
+    // the simulation.
+    std::sort(v.begin(), v.end(),
+              [](const Node *a, const Node *b) { return a < b; });
+
+    // finding 2: same hazard via stable_sort, pointer on one side only.
+    const Node *pivot = v.empty() ? nullptr : v.front();
+    std::stable_sort(v.begin(), v.end(),
+                     [pivot](const Node *a, const Node *) {
+                         return a > pivot && a != nullptr;
+                     });
+
+    // Negative controls: dereferenced and member-projected comparisons.
+    std::sort(v.begin(), v.end(),
+              [](const Node *a, const Node *b) { return a->key < b->key; });
+    std::vector<Node> owned;
+    std::sort(owned.begin(), owned.end(),
+              [](const Node &a, const Node &b) { return a.key < b.key; });
+}

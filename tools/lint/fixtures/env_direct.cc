@@ -1,0 +1,14 @@
+// caba-lint fixture: direct environment access outside common/env.cc.
+// Expected findings (rule "env-access"): 2.
+#include <cstdlib>
+#include <string>
+
+std::string
+fixtureEnv()
+{
+    const char *a = std::getenv("CABA_FIXTURE"); // finding 1
+    const char *b = getenv("PATH");              // finding 2: unqualified
+    // Negative control: the variable name in a string is not a read.
+    std::string doc = "set CABA_FIXTURE or consult getenv docs";
+    return doc + (a ? a : "") + (b ? b : "");
+}

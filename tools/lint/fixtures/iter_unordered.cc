@@ -1,0 +1,64 @@
+// caba-lint fixture: range-for over unordered containers.
+// Expected findings (rule "iteration-order"): 3.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+class FixtureTable
+{
+  public:
+    int
+    total() const
+    {
+        int s = 0;
+        for (const auto &[key, value] : members_) // finding 1
+            s += value;
+        for (const int key : keys_) // finding 2
+            s += key;
+        return s;
+    }
+
+    int
+    localScan() const
+    {
+        std::unordered_map<int, int> scratch{members_.begin(),
+                                             members_.end()};
+        int s = 0;
+        for (const auto &kv : scratch) // finding 3: locals count too
+            s += kv.second;
+        return s;
+    }
+
+    int
+    annotatedTotal() const
+    {
+        // Summation is commutative, so hash order cannot leak into the
+        // result; the annotation records that justification.
+        int s = 0;
+        for (const auto &[key, value] : members_) // lint: order-insensitive — sum is commutative
+            s += value;
+        // The annotation also works from the preceding line.
+        // lint: order-insensitive — max is order-free
+        for (const int key : keys_)
+            s = s > key ? s : key;
+        return s;
+    }
+
+    int
+    orderedScan(const std::vector<int> &order) const
+    {
+        // Negative controls: ordered containers and lookup results.
+        int s = 0;
+        for (const int key : order) {
+            auto it = members_.find(key);
+            if (it != members_.end())
+                s += it->second;
+        }
+        return s;
+    }
+
+  private:
+    std::unordered_map<int, int> members_;
+    std::unordered_set<int> keys_;
+};

@@ -1,0 +1,18 @@
+// caba-lint fixture: StatSet naming and registration hygiene.
+// Expected findings (rule "stat-hygiene"): 4.
+#include "common/stats.h"
+
+void
+fixtureStats(caba::StatSet &s, const caba::StatSet &other)
+{
+    s.setCounter("fixture_hits", 1);
+    s.setCounter("fixture_hits", 2);   // finding 1: duplicate overwrite
+    s.add("FixtureCamelCase");         // finding 2: not snake_case
+    s.set("fixture__gap", 3);          // finding 3: doubled underscore
+    s.mergePrefixed(other, "BadPrefix"); // finding 4: not a snake tag_
+    // Negative controls.
+    s.add("fixture_ok_counter");
+    s.add("fixture_ok_counter");       // add() accumulates; repeats fine
+    s.dist("fixture_latency").record(1);
+    s.mergePrefixed(other, "fixture_");
+}

@@ -1,0 +1,282 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace caba {
+namespace lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators, longest first (only ones whose splitting
+ *  would mislead a rule need to be here; `>>=` before `>>` before `>`). */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*", "##",
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : text_(text) {}
+
+    LexedFile
+    run()
+    {
+        while (pos_ < text_.size())
+            step();
+        return std::move(out_);
+    }
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    emit(Token::Kind kind, std::string text, int line)
+    {
+        out_.tokens.push_back({kind, std::move(text), line});
+    }
+
+    void
+    noteComment(const std::string &body, int line)
+    {
+        if (body.find("lint: order-insensitive") != std::string::npos)
+            out_.order_insensitive_lines.insert(line);
+    }
+
+    /** Consumes to end of line, honoring backslash continuations. */
+    void
+    skipLogicalLine()
+    {
+        while (pos_ < text_.size()) {
+            const char c = advance();
+            if (c == '\\' && peek() == '\n') {
+                advance();
+                continue;
+            }
+            // A // comment inside a directive can still carry an
+            // annotation and hides any continuation that follows it.
+            if (c == '/' && peek() == '/') {
+                lineComment();
+                return;
+            }
+            if (c == '/' && peek() == '*') {
+                advance();
+                blockComment();
+                continue;
+            }
+            if (c == '\n')
+                return;
+        }
+    }
+
+    void
+    lineComment()
+    {
+        const int start = line_;
+        std::string body;
+        advance(); // second '/'
+        while (pos_ < text_.size() && peek() != '\n')
+            body += advance();
+        noteComment(body, start);
+    }
+
+    void
+    blockComment()
+    {
+        const int start = line_;
+        std::string body;
+        advance(); // '*'
+        while (pos_ < text_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                advance();
+                advance();
+                break;
+            }
+            body += advance();
+        }
+        noteComment(body, start);
+    }
+
+    /** Body of a quoted literal after the opening quote was consumed. */
+    std::string
+    quoted(char close)
+    {
+        std::string body;
+        while (pos_ < text_.size()) {
+            const char c = advance();
+            if (c == close)
+                break;
+            if (c == '\\' && pos_ < text_.size()) {
+                body += c;
+                body += advance();
+                continue;
+            }
+            body += c;
+        }
+        return body;
+    }
+
+    /** R"delim( ... )delim" with the R and opening quote consumed. */
+    std::string
+    rawString()
+    {
+        std::string delim;
+        while (pos_ < text_.size() && peek() != '(')
+            delim += advance();
+        if (pos_ < text_.size())
+            advance(); // '('
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (pos_ < text_.size()) {
+            if (text_.compare(pos_, close.size(), close) == 0) {
+                for (std::size_t i = 0; i < close.size(); ++i)
+                    advance();
+                break;
+            }
+            body += advance();
+        }
+        return body;
+    }
+
+    void
+    step()
+    {
+        const char c = peek();
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            if (c == '\n')
+                at_line_start_ = true;
+            advance();
+            return;
+        }
+        const int line = line_;
+        // Preprocessor directive: '#' with only whitespace before it on
+        // the line (comments between a newline and '#' don't occur in
+        // this repo's layout and are deliberately not handled).
+        if (c == '#' && at_line_start_) {
+            skipLogicalLine();
+            at_line_start_ = true;
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            advance();
+            lineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            blockComment();
+            return;
+        }
+        at_line_start_ = false;
+        if (identStart(c)) {
+            std::string id;
+            while (identChar(peek()))
+                id += advance();
+            // String/char prefixes: R"..., u8"..., L'x' etc.
+            if (peek() == '"') {
+                const bool raw = !id.empty() && id.back() == 'R';
+                const std::string base = raw ? id.substr(0, id.size() - 1) : id;
+                if (base.empty() || base == "u8" || base == "u" ||
+                    base == "U" || base == "L") {
+                    advance(); // opening quote
+                    emit(Token::String, raw ? rawString() : quoted('"'), line);
+                    return;
+                }
+            }
+            if (peek() == '\'' &&
+                (id == "u8" || id == "u" || id == "U" || id == "L")) {
+                advance();
+                emit(Token::CharLit, quoted('\''), line);
+                return;
+            }
+            emit(Token::Ident, std::move(id), line);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::string num;
+            num += advance();
+            while (pos_ < text_.size()) {
+                const char n = peek();
+                if (identChar(n) || n == '.' || n == '\'') {
+                    num += advance();
+                    continue;
+                }
+                // Exponent signs: 1e-5, 0x1p+3.
+                if ((n == '+' || n == '-') && !num.empty() &&
+                    (num.back() == 'e' || num.back() == 'E' ||
+                     num.back() == 'p' || num.back() == 'P')) {
+                    num += advance();
+                    continue;
+                }
+                break;
+            }
+            emit(Token::Number, std::move(num), line);
+            return;
+        }
+        if (c == '"') {
+            advance();
+            emit(Token::String, quoted('"'), line);
+            return;
+        }
+        if (c == '\'') {
+            advance();
+            emit(Token::CharLit, quoted('\''), line);
+            return;
+        }
+        for (const char *op : kPuncts) {
+            const std::size_t n = std::char_traits<char>::length(op);
+            if (text_.compare(pos_, n, op) == 0) {
+                for (std::size_t i = 0; i < n; ++i)
+                    advance();
+                emit(Token::Punct, op, line);
+                return;
+            }
+        }
+        emit(Token::Punct, std::string(1, advance()), line);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool at_line_start_ = true;
+    LexedFile out_;
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &text)
+{
+    return Lexer(text).run();
+}
+
+} // namespace lint
+} // namespace caba

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tree walking, report rendering and baseline handling for caba-lint.
+ * Everything here is deterministic: files are visited in sorted
+ * repo-relative path order, findings are sorted, and the JSON report is
+ * emitted with the same JsonWriter the benches use — two runs over the
+ * same tree are byte-identical.
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.h"
+#include "lint.h"
+#include "tests/mini_json.h"
+
+namespace caba {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Rule ids in fixed report order. */
+const char *const kRules[] = {
+    "determinism", "iteration-order", "env-access", "check-discipline",
+    "stat-hygiene",
+};
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool
+readFile(const fs::path &p, std::string *out, std::string *error)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        *error = "cannot open " + p.string();
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+std::string
+baselineKey(const Finding &f)
+{
+    // Line numbers drift with unrelated edits; identity is
+    // rule + file + message.
+    return f.rule + "\n" + f.file + "\n" + f.message;
+}
+
+} // namespace
+
+bool
+runTree(const std::string &root, std::vector<Finding> *out,
+        std::string *error)
+{
+    const fs::path base(root);
+    std::vector<std::string> rel_paths;
+    for (const char *top : {"src", "tests"}) {
+        const fs::path dir = base / top;
+        if (!fs::exists(dir)) {
+            *error = "missing directory " + dir.string() +
+                     " (is --root the repo root?)";
+            return false;
+        }
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file() ||
+                !lintableExtension(entry.path()))
+                continue;
+            rel_paths.push_back(
+                entry.path().lexically_relative(base).generic_string());
+        }
+    }
+    std::sort(rel_paths.begin(), rel_paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(rel_paths.size());
+    for (const std::string &rel : rel_paths) {
+        SourceFile f;
+        f.path = rel;
+        if (!readFile(base / rel, &f.text, error))
+            return false;
+        files.push_back(std::move(f));
+    }
+    *out = run(files);
+    return true;
+}
+
+std::string
+toText(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    for (const Finding &f : findings)
+        os << f.file << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<Finding> &findings,
+       const std::vector<Finding> &baselined)
+{
+    std::multiset<std::string> matched;
+    for (const Finding &f : baselined)
+        matched.insert(baselineKey(f));
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "caba-lint-v1");
+    w.key("counts").beginObject();
+    for (const char *rule : kRules) {
+        std::uint64_t n = 0;
+        for (const Finding &f : findings)
+            if (f.rule == rule)
+                ++n;
+        w.kv(rule, n);
+    }
+    w.kv("total", static_cast<std::uint64_t>(findings.size()));
+    w.kv("baselined", static_cast<std::uint64_t>(baselined.size()));
+    w.endObject();
+    w.key("findings").beginArray();
+    for (const Finding &f : findings) {
+        bool is_baselined = false;
+        auto it = matched.find(baselineKey(f));
+        if (it != matched.end()) {
+            matched.erase(it);
+            is_baselined = true;
+        }
+        w.beginObject()
+            .kv("rule", f.rule)
+            .kv("file", f.file)
+            .kv("line", static_cast<std::int64_t>(f.line))
+            .kv("message", f.message)
+            .kv("baselined", is_baselined)
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+parseBaseline(const std::string &json_text, std::vector<Finding> *out,
+              std::string *error)
+{
+    minijson::Value doc;
+    if (!minijson::parse(json_text, &doc) || !doc.isObject()) {
+        *error = "baseline is not valid JSON";
+        return false;
+    }
+    const minijson::Value *findings = doc.find("findings");
+    if (!findings || !findings->isArray()) {
+        *error = "baseline lacks a \"findings\" array";
+        return false;
+    }
+    for (const minijson::Value &v : findings->array) {
+        const minijson::Value *rule = v.find("rule");
+        const minijson::Value *file = v.find("file");
+        const minijson::Value *message = v.find("message");
+        if (!rule || !rule->isString() || !file || !file->isString() ||
+            !message || !message->isString()) {
+            *error = "baseline entry lacks rule/file/message strings";
+            return false;
+        }
+        Finding f;
+        f.rule = rule->string;
+        f.file = file->string;
+        f.message = message->string;
+        const minijson::Value *line = v.find("line");
+        if (line && line->isNumber())
+            f.line = static_cast<int>(line->number);
+        out->push_back(std::move(f));
+    }
+    return true;
+}
+
+void
+applyBaseline(const std::vector<Finding> &findings,
+              const std::vector<Finding> &baseline,
+              std::vector<Finding> *fresh, std::vector<Finding> *matched)
+{
+    std::multiset<std::string> keys;
+    for (const Finding &b : baseline)
+        keys.insert(baselineKey(b));
+    for (const Finding &f : findings) {
+        auto it = keys.find(baselineKey(f));
+        if (it != keys.end()) {
+            keys.erase(it);
+            matched->push_back(f);
+        } else {
+            fresh->push_back(f);
+        }
+    }
+}
+
+} // namespace lint
+} // namespace caba

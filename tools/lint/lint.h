@@ -1,0 +1,98 @@
+/**
+ * @file
+ * caba-lint — project-specific static analysis enforcing the
+ * simulator's determinism and invariant contracts (see DESIGN.md §9).
+ *
+ * Rules (rule ids are stable; they appear in findings, baselines and
+ * the JSON report):
+ *
+ *  - determinism      rand/srand, std::random_device, time(),
+ *                     std::chrono::*_clock::now and pointer-value
+ *                     comparisons in sort predicates are banned outside
+ *                     a whitelist (common/rng.h, common/self_profile.*,
+ *                     common/trace.cc).
+ *  - iteration-order  range-for over a variable declared as
+ *                     std::unordered_map/set anywhere in the scanned
+ *                     tree is flagged in src/ unless the line (or the
+ *                     line above) carries `// lint: order-insensitive`.
+ *  - env-access       getenv is only legal inside src/common/env.cc,
+ *                     the environment registry.
+ *  - check-discipline bare assert( in src/ must be CABA_CHECK (always
+ *                     on, prints context, independent of NDEBUG).
+ *  - stat-hygiene     StatSet names must be snake_case; re-registering
+ *                     the same set/setCounter name in one file is a
+ *                     silent overwrite and an error; mergePrefixed
+ *                     prefixes must be snake_case ending in '_'.
+ */
+#ifndef CABA_TOOLS_LINT_LINT_H
+#define CABA_TOOLS_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace caba {
+namespace lint {
+
+struct Finding
+{
+    std::string rule;      ///< stable rule id (see file comment)
+    std::string file;      ///< repo-relative path, '/'-separated
+    int line = 0;          ///< 1-based
+    std::string message;
+};
+
+/** A source file to lint: @p path is the repo-relative path (which
+ *  decides rule scoping and whitelists), @p text the contents. */
+struct SourceFile
+{
+    std::string path;
+    std::string text;
+};
+
+/**
+ * Lints @p files as one project: pass 1 collects the names of every
+ * variable declared with an unordered container type, pass 2 applies
+ * all rules per file. Findings are sorted by (file, line, rule).
+ */
+std::vector<Finding> run(const std::vector<SourceFile> &files);
+
+/**
+ * Reads .h, .cc and .cpp files under <root>/src and <root>/tests (lexicographic
+ * walk, so results are machine-independent) and lints them. On I/O
+ * failure returns false and sets @p error.
+ */
+bool runTree(const std::string &root, std::vector<Finding> *out,
+             std::string *error);
+
+/** Human-readable report: "file:line: [rule] message" lines. */
+std::string toText(const std::vector<Finding> &findings);
+
+/**
+ * Deterministic JSON report (schema caba-lint-v1): per-rule counts and
+ * the full finding list, with @p baselined entries marked.
+ */
+std::string toJson(const std::vector<Finding> &findings,
+                   const std::vector<Finding> &baselined);
+
+/**
+ * Parses a baseline document (same schema as toJson; only the rule,
+ * file and message fields are consulted — line numbers may drift).
+ * Returns false on malformed input.
+ */
+bool parseBaseline(const std::string &json_text, std::vector<Finding> *out,
+                   std::string *error);
+
+/**
+ * Splits @p findings into @p fresh and @p matched against @p baseline.
+ * A finding matches a baseline entry with the same rule, file and
+ * message, regardless of line.
+ */
+void applyBaseline(const std::vector<Finding> &findings,
+                   const std::vector<Finding> &baseline,
+                   std::vector<Finding> *fresh,
+                   std::vector<Finding> *matched);
+
+} // namespace lint
+} // namespace caba
+
+#endif // CABA_TOOLS_LINT_LINT_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * caba-lint CLI. Exit codes: 0 = clean (every finding baselined),
+ * 1 = non-baselined findings, 2 = usage or I/O error.
+ *
+ *   caba-lint --root . --baseline tools/lint/baseline.json --json=report.json
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: caba-lint [--root DIR] [--baseline FILE] [--json[=PATH]]\n"
+        "  --root DIR       repo root to scan (src/ and tests/; default .)\n"
+        "  --baseline FILE  accepted findings (default ROOT/tools/lint/\n"
+        "                   baseline.json when present)\n"
+        "  --json[=PATH]    write the caba-lint-v1 JSON report to PATH\n"
+        "                   (stdout when no PATH; suppresses text output)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string baseline_path;
+    bool emit_json = false;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--json") {
+            emit_json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            emit_json = true;
+            json_path = arg.substr(7);
+        } else {
+            return usage();
+        }
+    }
+
+    std::string error;
+    std::vector<caba::lint::Finding> findings;
+    if (!caba::lint::runTree(root, &findings, &error)) {
+        std::fprintf(stderr, "caba-lint: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::vector<caba::lint::Finding> baseline;
+    if (baseline_path.empty()) {
+        const std::string candidate = root + "/tools/lint/baseline.json";
+        if (std::ifstream(candidate).good())
+            baseline_path = candidate;
+    }
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "caba-lint: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        if (!caba::lint::parseBaseline(ss.str(), &baseline, &error)) {
+            std::fprintf(stderr, "caba-lint: %s: %s\n",
+                         baseline_path.c_str(), error.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<caba::lint::Finding> fresh;
+    std::vector<caba::lint::Finding> matched;
+    caba::lint::applyBaseline(findings, baseline, &fresh, &matched);
+
+    if (emit_json) {
+        const std::string doc = caba::lint::toJson(findings, matched);
+        if (json_path.empty()) {
+            std::fputs(doc.c_str(), stdout);
+        } else {
+            std::ofstream out(json_path, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "caba-lint: cannot write %s\n",
+                             json_path.c_str());
+                return 2;
+            }
+            out << doc;
+        }
+    }
+    if (!emit_json || !json_path.empty()) {
+        std::fputs(caba::lint::toText(fresh).c_str(), stdout);
+        std::fprintf(stdout,
+                     "caba-lint: %zu finding(s), %zu baselined, %zu new\n",
+                     findings.size(), matched.size(), fresh.size());
+    }
+    return fresh.empty() ? 0 : 1;
+}
