@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <cstring>
 
 #include "common/log.h"
 
@@ -17,6 +18,18 @@ namespace caba {
 inline std::uint64_t
 loadLe(const std::uint8_t *p, int size)
 {
+    // On little-endian hosts the power-of-two widths are single
+    // (unaligned) loads via fixed-size memcpy — these sit in the
+    // codecs' per-element inner loops.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    switch (size) {
+      case 1: return *p;
+      case 2: { std::uint16_t v; std::memcpy(&v, p, 2); return v; }
+      case 4: { std::uint32_t v; std::memcpy(&v, p, 4); return v; }
+      case 8: { std::uint64_t v; std::memcpy(&v, p, 8); return v; }
+      default: break;
+    }
+#endif
     std::uint64_t v = 0;
     for (int i = 0; i < size; ++i)
         v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
@@ -27,6 +40,17 @@ loadLe(const std::uint8_t *p, int size)
 inline void
 storeLe(std::uint8_t *p, int size, std::uint64_t v)
 {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    switch (size) {
+      case 1: *p = static_cast<std::uint8_t>(v); return;
+      case 2: { const std::uint16_t w = static_cast<std::uint16_t>(v);
+                std::memcpy(p, &w, 2); return; }
+      case 4: { const std::uint32_t w = static_cast<std::uint32_t>(v);
+                std::memcpy(p, &w, 4); return; }
+      case 8: std::memcpy(p, &v, 8); return;
+      default: break;
+    }
+#endif
     for (int i = 0; i < size; ++i)
         p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }

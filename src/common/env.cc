@@ -15,7 +15,7 @@ namespace {
  * nothing else: snapshotting, raw(), typed accessors and --help-env all
  * derive from this table. Keep rows in the order users should read
  * them. */
-constexpr std::array<Var, 6> kVars{{
+constexpr std::array<Var, 7> kVars{{
     {"CABA_SCALE", Type::Real, "1.0",
      "Workload loop-trip multiplier, applied on top of any --scale flag; "
      "non-positive or unset keeps the configured scale."},
@@ -32,6 +32,10 @@ constexpr std::array<Var, 6> kVars{{
     {"CABA_NO_FASTFORWARD", Type::Flag, "(unset: fast-forward on)",
      "Force cycle-by-cycle simulation, disabling quiescence fast-forward "
      "(the CI determinism smoke job byte-diffs both modes)."},
+    {"CABA_EVENT_DRIVEN", Type::Int, "1",
+     "Event-driven run loop: components sleep until their nextWork() "
+     "hint or incoming traffic. 0 forces the legacy walk-everything "
+     "loop (CI byte-diffs both; results are bit-identical)."},
 }};
 
 std::size_t
@@ -74,6 +78,13 @@ bool
 flagSet(const char *name)
 {
     return raw(name) != nullptr;
+}
+
+int
+intOr(const char *name, int fallback)
+{
+    const char *v = raw(name);
+    return v ? std::atoi(v) : fallback;
 }
 
 int

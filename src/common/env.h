@@ -52,6 +52,9 @@ const char *raw(const char *name);
 /** True when the variable is present in the environment (Flag vars). */
 bool flagSet(const char *name);
 
+/** Parsed integer (any value, including 0), or @p fallback when unset. */
+int intOr(const char *name, int fallback);
+
 /** Parsed positive integer, or @p fallback when unset/non-positive. */
 int positiveIntOr(const char *name, int fallback);
 

@@ -19,19 +19,22 @@ constexpr std::array<BdiEncoding, 6> kBaseDeltaOrder = {
 bool
 lineIsZero(const std::uint8_t *line)
 {
-    for (int i = 0; i < kLineSize; ++i)
-        if (line[i] != 0)
-            return false;
-    return true;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < kLineSize; i += 8)
+        acc |= loadLe(line + i, 8);
+    return acc == 0;
 }
 
 bool
 lineIsRepeated8(const std::uint8_t *line)
 {
-    for (int i = 8; i < kLineSize; ++i)
-        if (line[i] != line[i - 8])
-            return false;
-    return true;
+    // Byte-periodic with period 8 == every aligned 8-byte word equals
+    // the first one (kLineSize is a multiple of 8).
+    const std::uint64_t first = loadLe(line, 8);
+    std::uint64_t diff = 0;
+    for (int i = 8; i < kLineSize; i += 8)
+        diff |= loadLe(line + i, 8) ^ first;
+    return diff == 0;
 }
 
 } // namespace
@@ -100,21 +103,23 @@ BdiCodec::tryEncode(const std::uint8_t *line, BdiEncoding enc,
     const std::uint64_t word_mask =
         word_b == 8 ? ~std::uint64_t{0}
                     : ((std::uint64_t{1} << (8 * word_b)) - 1);
+    // Fixed-trip, branch-free accumulation (SIMD-friendly: a misfit
+    // element clears `ok` instead of early-exiting the loop).
     std::array<std::int64_t, 64> delta{};
     std::uint64_t use_base_mask = 0;
+    bool ok = true;
     for (int i = 0; i < n; ++i) {
         const std::int64_t d_base =
             signExtend((vals[i] - base) & word_mask, word_b);
         const std::int64_t d_zero = signExtend(vals[i], word_b);
-        if (have_base && fitsSigned(d_base, delta_b)) {
-            delta[i] = d_base;
-            use_base_mask |= std::uint64_t{1} << i;
-        } else if (fitsSigned(d_zero, delta_b)) {
-            delta[i] = d_zero;
-        } else {
-            return false;
-        }
+        const bool base_fits = have_base && fitsSigned(d_base, delta_b);
+        const bool zero_fits = fitsSigned(d_zero, delta_b);
+        delta[i] = base_fits ? d_base : d_zero;
+        use_base_mask |= base_fits ? std::uint64_t{1} << i : 0;
+        ok = ok && (base_fits || zero_fits);
     }
+    if (!ok)
+        return false;
 
     const int total = 1 + mask_b + word_b + n * delta_b;
     if (total >= kLineSize)

@@ -22,8 +22,20 @@ class BitWriter
     put(std::uint32_t value, int bits)
     {
         CABA_CHECK(bits >= 0 && bits <= 32, "bad field width");
-        for (int i = bits - 1; i >= 0; --i)
-            putBit((value >> i) & 1);
+        // Byte-at-a-time: peel off the highest-order chunk that fits in
+        // the current partially-filled byte, then whole bytes.
+        while (bits > 0) {
+            const int off = bit_count_ & 7;
+            if (off == 0)
+                bytes_.push_back(0);
+            const int take = bits < 8 - off ? bits : 8 - off;
+            const std::uint32_t chunk =
+                (value >> (bits - take)) & ((1u << take) - 1u);
+            bytes_.back() |= static_cast<std::uint8_t>(
+                chunk << (8 - off - take));
+            bit_count_ += take;
+            bits -= take;
+        }
     }
 
     /** Total bits written so far. */
@@ -33,16 +45,6 @@ class BitWriter
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
 
   private:
-    void
-    putBit(std::uint32_t b)
-    {
-        const int off = bit_count_ & 7;
-        if (off == 0)
-            bytes_.push_back(0);
-        bytes_.back() |= static_cast<std::uint8_t>(b << (7 - off));
-        ++bit_count_;
-    }
-
     std::vector<std::uint8_t> bytes_;
     int bit_count_ = 0;
 };
@@ -61,12 +63,20 @@ class BitReader
     {
         CABA_CHECK(bits >= 0 && bits <= 32, "bad field width");
         CABA_CHECK(pos_ + bits <= size_bits_, "bitstream overrun");
+        // Byte-at-a-time mirror of BitWriter::put.
         std::uint32_t v = 0;
-        for (int i = 0; i < bits; ++i) {
-            const int p = pos_ + i;
-            v = (v << 1) | ((data_[p >> 3] >> (7 - (p & 7))) & 1);
+        int left = bits;
+        while (left > 0) {
+            const int off = pos_ & 7;
+            const int take = left < 8 - off ? left : 8 - off;
+            const std::uint32_t chunk =
+                (static_cast<std::uint32_t>(data_[pos_ >> 3]) >>
+                 (8 - off - take)) &
+                ((1u << take) - 1u);
+            v = (v << take) | chunk;
+            pos_ += take;
+            left -= take;
         }
-        pos_ += bits;
         return v;
     }
 

@@ -29,6 +29,16 @@ noFastForwardEnv()
     return set;
 }
 
+/** CABA_EVENT_DRIVEN=0 forces the legacy walk-everything loop (the CI
+ *  determinism smoke test diffs both loops). Read once: run() executes
+ *  on sweep worker threads where getenv is not reliably safe. */
+bool
+eventDrivenEnvOn()
+{
+    static const bool on = env::intOr("CABA_EVENT_DRIVEN", 1) != 0;
+    return on;
+}
+
 } // namespace
 
 GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
@@ -67,19 +77,31 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
     // Wire order IS the drain order of the former moveTraffic() loops:
     // SM out-queues feed the request crossbar; each partition drains its
     // crossbar output, then pushes replies; the reply crossbar fans back
-    // out to the SMs.
+    // out to the SMs. Each endpoint is tagged with its owning component
+    // (as a clocked_ index: SM i -> i, request crossbar -> num_sms,
+    // reply crossbar -> num_sms + 1, partition p -> num_sms + 2 + p) so
+    // the event-driven loop can wake whatever a pump touches.
+    const int req_owner = cfg_.num_sms;
+    const int reply_owner = cfg_.num_sms + 1;
+    auto add_wire = [this](Source<MemRequest> *src, Sink<MemRequest> *dst,
+                           int src_owner, int dst_owner) {
+        wires_.push_back({src, dst});
+        wire_src_owner_.push_back(src_owner);
+        wire_dst_owner_.push_back(dst_owner);
+    };
     for (int s = 0; s < cfg_.num_sms; ++s) {
         SmCore &sm = *sms_[static_cast<std::size_t>(s)];
-        wires_.push_back({&sm.out(), &req_net_.input(s)});
+        add_wire(&sm.out(), &req_net_.input(s), s, req_owner);
     }
     for (int p = 0; p < cfg_.num_partitions; ++p) {
         MemoryPartition &part = *partitions_[static_cast<std::size_t>(p)];
-        wires_.push_back({&req_net_.output(p), &part});
-        wires_.push_back({&part.replies(), &reply_net_.input(p)});
+        add_wire(&req_net_.output(p), &part, req_owner, reply_owner + 1 + p);
+        add_wire(&part.replies(), &reply_net_.input(p), reply_owner + 1 + p,
+                 reply_owner);
     }
     for (int s = 0; s < cfg_.num_sms; ++s) {
         SmCore &sm = *sms_[static_cast<std::size_t>(s)];
-        wires_.push_back({&reply_net_.output(s), &sm});
+        add_wire(&reply_net_.output(s), &sm, reply_owner, s);
     }
 
     for (auto &sm : sms_)
@@ -206,7 +228,12 @@ GpuSystem::fastForward()
             return;
     for (Clocked *c : clocked_)
         c->skipIdle(now_, wake);
+    advanceQuiescent(wake);
+}
 
+void
+GpuSystem::advanceQuiescent(Cycle wake)
+{
     // Emit the timeline samples the skipped cycles would have produced
     // (counters are frozen across the span, so sampling mid-skip reads
     // the same values a ticked run would).
@@ -237,18 +264,123 @@ GpuSystem::fastForward()
     CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
 }
 
+// ------------------------------------------------------- event-driven loop
+
+void
+GpuSystem::initEventState()
+{
+    eq_.reset(static_cast<int>(clocked_.size()));
+    for (std::size_t i = 0; i < clocked_.size(); ++i)
+        eq_.schedule(static_cast<int>(i), now_);
+    acct_.assign(clocked_.size(), now_);
+}
+
+void
+GpuSystem::catchUp(std::size_t i, Cycle to)
+{
+    if (acct_[i] < to) {
+        // The span [acct_[i], to) had no cycle() call and no incoming
+        // traffic, so the component's state is exactly what it was at
+        // acct_[i]; one deferred skipIdle() charges the same accounting
+        // the per-cycle path would have accumulated.
+        clocked_[i]->skipIdle(acct_[i], to);
+        acct_[i] = to;
+    }
+}
+
+void
+GpuSystem::wakeForTraffic(std::size_t i)
+{
+    // SMs (clocked_ indices below num_sms) cycle before the wire phase:
+    // traffic landing at now_ is seen by their cycle(now_ + 1). The
+    // crossbars and partitions cycle after the wire phase and must run
+    // this very cycle, exactly as they would in the walk-everything
+    // loop. Catch-up must precede the push (see catchUp()).
+    const Cycle at = i < sms_.size() ? now_ + 1 : now_;
+    catchUp(i, at);
+    if (eq_.when(static_cast<int>(i)) > at)
+        eq_.schedule(static_cast<int>(i), at);
+}
+
+void
+GpuSystem::stepEvent()
+{
+    const std::size_t n_sms = sms_.size();
+    auto run_component = [this](std::size_t i) {
+        if (!eq_.due(static_cast<int>(i), now_))
+            return;
+        catchUp(i, now_);
+        Clocked *c = clocked_[i];
+        c->cycle(now_);
+        acct_[i] = now_ + 1;
+        eq_.schedule(static_cast<int>(i), c->nextWork(now_ + 1));
+    };
+    for (std::size_t i = 0; i < n_sms; ++i)
+        run_component(i);
+    // Wire phase: same order and greedy drain as moveTraffic(), plus
+    // wake hooks. Taking from a source can unblock its owner (a full
+    // crossbar output gates arbitration) just as accepting gives the
+    // destination work, so a moved packet wakes both endpoints.
+    for (std::size_t wi = 0; wi < wires_.size(); ++wi) {
+        const Wire<MemRequest> &w = wires_[wi];
+        if (!w.src->hasData(now_) || !w.dst->canAccept())
+            continue;
+        wakeForTraffic(static_cast<std::size_t>(wire_src_owner_[wi]));
+        wakeForTraffic(static_cast<std::size_t>(wire_dst_owner_[wi]));
+        do {
+            w.dst->accept(w.src->take(), now_);
+        } while (w.src->hasData(now_) && w.dst->canAccept());
+    }
+    for (std::size_t i = n_sms; i < clocked_.size(); ++i)
+        run_component(i);
+    ++now_;
+}
+
+void
+GpuSystem::eventJump()
+{
+    // Like fastForward(), but the wake times are already cached: every
+    // component published its next event when it went to sleep, and
+    // pushes always re-arm the destination, so min-wake > now_ is the
+    // same global-quiescence condition the polling loop recomputes.
+    Cycle wake = eq_.minTime();
+    if (wake <= now_)
+        return;
+    wake = std::min(wake, cfg_.max_cycles);
+    if (wake <= now_)
+        return;
+    // In practice no wire can be pumpable here (data waiting in any
+    // endpoint pins its owner awake via nextWork), but the veto is kept
+    // as cheap insurance against a source that sleeps on queued data.
+    for (const Wire<MemRequest> &w : wires_)
+        if (w.canPump(now_))
+            return;
+    // No skipIdle here: sleeping components are charged lazily when
+    // they wake (catchUp), which accumulates the identical spans.
+    advanceQuiescent(wake);
+}
+
 RunResult
 GpuSystem::run()
 {
     const bool ff = cfg_.fast_forward && !noFastForwardEnv();
+    const bool ed = cfg_.event_driven && eventDrivenEnvOn();
     // Timeline sampling (counter-based rather than now_ % interval so a
     // mid-run caller of step() cannot desynchronize the cadence).
     until_sample_ = cfg_.sample_interval;
     until_audit_ = audit_.config().period;
+    if (ed)
+        initEventState();
     while (!done()) {
-        if (ff)
-            fastForward();
-        step();
+        if (ed) {
+            if (ff)
+                eventJump();
+            stepEvent();
+        } else {
+            if (ff)
+                fastForward();
+            step();
+        }
         CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
         if (cfg_.sample_interval > 0 && --until_sample_ == 0) {
             until_sample_ = cfg_.sample_interval;
@@ -258,6 +390,12 @@ GpuSystem::run()
             until_audit_ = audit_.config().period;
             runAudit(false);
         }
+    }
+    if (ed) {
+        // Settle the deferred idle accounting of anything still asleep
+        // (e.g. retired SMs accumulating throttle-window history).
+        for (std::size_t i = 0; i < clocked_.size(); ++i)
+            catchUp(i, now_);
     }
     if (cfg_.sample_interval > 0)
         timeline_.push_back(sampleNow());   // final state

@@ -8,11 +8,14 @@
  * The components are plumbed together as typed port bindings: each
  * SM out-queue, crossbar port and partition reply queue exposes a
  * Source/Sink face, and GpuSystem just pumps a fixed list of wires per
- * cycle. Because everything is Clocked, the run loop can also
- * fast-forward through quiescent stretches (all warps blocked on
- * memory, nothing movable anywhere) — with bit-identical results; set
- * CABA_NO_FASTFORWARD=1 (or GpuConfig::fast_forward = false) to force
- * cycle-by-cycle execution.
+ * cycle. Because everything is Clocked, the run loop is event-driven by
+ * default: each component sleeps until its nextWork() hint or until a
+ * wire pushes traffic into it, and globally quiescent stretches (all
+ * warps blocked on memory, nothing movable anywhere) fast-forward in
+ * one jump — with bit-identical results either way. Set
+ * CABA_EVENT_DRIVEN=0 (or GpuConfig::event_driven = false) to force the
+ * legacy cycle-everything loop, and CABA_NO_FASTFORWARD=1 (or
+ * GpuConfig::fast_forward = false) to disable the quiescence jump.
  */
 #ifndef CABA_GPU_GPU_SYSTEM_H
 #define CABA_GPU_GPU_SYSTEM_H
@@ -23,6 +26,7 @@
 #include "caba/aws.h"
 #include "common/audit.h"
 #include "common/component.h"
+#include "common/event_queue.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
 #include "gpu/design.h"
@@ -61,6 +65,15 @@ struct GpuConfig
      * environment variable also disables it for A/B checks).
      */
     bool fast_forward = true;
+
+    /**
+     * Event-driven run loop: each component sleeps until its own
+     * nextWork() hint or until traffic is pushed into it, instead of
+     * being cycled every clock (DESIGN.md section 10). Bit-identical to
+     * the walk-everything loop; CABA_EVENT_DRIVEN=0 forces the legacy
+     * loop for A/B checks.
+     */
+    bool event_driven = true;
 
     /** Safety valve against a wedged simulation. */
     Cycle max_cycles = 20'000'000;
@@ -163,6 +176,35 @@ class GpuSystem
      */
     void fastForward();
 
+    // -- event-driven loop (see DESIGN.md section 10) --
+
+    /** Resets per-component wake/accounting state to now_. */
+    void initEventState();
+
+    /** One cycle of the event-driven loop: cycles only due components
+     *  (same phase order as step()), pumps wires with wake hooks. */
+    void stepEvent();
+
+    /** Quiescence jump over [now_, min wake): like fastForward() but
+     *  reads the cached wake times instead of re-polling nextWork(),
+     *  and leaves the skip accounting to the lazy catch-up. */
+    void eventJump();
+
+    /** Charges component @p i's deferred skipIdle() span up to @p to.
+     *  Must run before any external push mutates a sleeping component:
+     *  the span's accounting depends on its frozen pre-push state. */
+    void catchUp(std::size_t i, Cycle to);
+
+    /** Wakes wire-endpoint owner @p i for traffic moved at now_. SMs
+     *  cycle before the wire phase, so they react at now_ + 1; the
+     *  crossbars and partitions cycle after it and react at now_. */
+    void wakeForTraffic(std::size_t i);
+
+    /** Advances now_ by @p wake - now_ quiescent cycles, replaying the
+     *  timeline-sample cadence and collapsing periodic audits (shared
+     *  by fastForward() and eventJump()). */
+    void advanceQuiescent(Cycle wake);
+
     RunResult collect() const;
     TimeSample sampleNow() const;
 
@@ -182,8 +224,22 @@ class GpuSystem
      *  reply crossbar, reply crossbar -> SM. */
     std::vector<Wire<MemRequest>> wires_;
 
-    /** Every clocked component (for done() and fast-forward). */
+    /** Every clocked component (for done() and fast-forward), in phase
+     *  order: SMs, request crossbar, reply crossbar, partitions. */
     std::vector<Clocked *> clocked_;
+
+    /** Per-wire endpoint owners as indices into clocked_ (the component
+     *  whose state a pump mutates on the take/accept side). */
+    std::vector<int> wire_src_owner_;
+    std::vector<int> wire_dst_owner_;
+
+    /** Per-component wake times (event-driven loop only). */
+    EventQueue eq_;
+
+    /** First cycle not yet charged to component i's idle accounting:
+     *  skipIdle() for a sleeping component is deferred until it wakes,
+     *  so acct_[i] trails now_ while i sleeps. */
+    std::vector<Cycle> acct_;
 
     Cycle now_ = 0;
     Cycle until_sample_ = 0;    ///< run()'s sampling countdown.

@@ -65,8 +65,10 @@ void
 DramChannel::enqueue(DramCmd cmd)
 {
     CABA_CHECK(canAccept(cmd.is_write), "DRAM queue overflow");
-    Bank &b = banks_[static_cast<std::size_t>(bankOf(cmd.line))];
-    if (b.open_row == rowOf(cmd.line))
+    cmd.bank = bankOf(cmd.line);
+    cmd.row = rowOf(cmd.line);
+    Bank &b = banks_[static_cast<std::size_t>(cmd.bank)];
+    if (b.open_row == cmd.row)
         ++b.open_matches;
     if (cmd.is_write) {
         write_q_.push_back(cmd);
@@ -84,11 +86,11 @@ DramChannel::recountOpenMatches(int bank)
     Bank &b = banks_[static_cast<std::size_t>(bank)];
     b.open_matches = 0;
     for (const DramCmd &c : read_q_) {
-        if (bankOf(c.line) == bank && b.open_row == rowOf(c.line))
+        if (c.bank == bank && b.open_row == c.row)
             ++b.open_matches;
     }
     for (const DramCmd &c : write_q_) {
-        if (bankOf(c.line) == bank && b.open_row == rowOf(c.line))
+        if (c.bank == bank && b.open_row == c.row)
             ++b.open_matches;
     }
 }
@@ -99,9 +101,10 @@ DramChannel::pickCas(const std::deque<DramCmd> &q, Cycle now) const
     const int limit =
         std::min<int>(static_cast<int>(q.size()), cfg_.sched_window);
     for (int i = 0; i < limit; ++i) {
-        const Bank &b = banks_[static_cast<std::size_t>(bankOf(q[i].line))];
-        const Cycle turnaround = q[i].is_write ? 0 : b.wtr_ready;
-        if (b.open_row == rowOf(q[i].line) && b.col_ready <= now &&
+        const DramCmd &c = q[static_cast<std::size_t>(i)];
+        const Bank &b = banks_[static_cast<std::size_t>(c.bank)];
+        const Cycle turnaround = c.is_write ? 0 : b.wtr_ready;
+        if (b.open_row == c.row && b.col_ready <= now &&
             b.act_done <= now && turnaround <= now) {
             return i;
         }
@@ -117,8 +120,9 @@ DramChannel::pickAct(const std::deque<DramCmd> &q) const
     const int limit =
         std::min<int>(static_cast<int>(q.size()), cfg_.sched_window);
     for (int i = 0; i < limit; ++i) {
-        const Bank &b = banks_[static_cast<std::size_t>(bankOf(q[i].line))];
-        if (b.open_row != rowOf(q[i].line) && b.pending_row < 0 &&
+        const DramCmd &c = q[static_cast<std::size_t>(i)];
+        const Bank &b = banks_[static_cast<std::size_t>(c.bank)];
+        if (b.open_row != c.row && b.pending_row < 0 &&
             b.open_matches == 0) {
             return i;
         }
@@ -152,9 +156,9 @@ DramChannel::activeQueue()
 void
 DramChannel::issue(std::deque<DramCmd> &q, int idx, Cycle now)
 {
-    const int bank_idx = bankOf(q[idx].line);
+    const int bank_idx = q[static_cast<std::size_t>(idx)].bank;
     Bank &bank = banks_[static_cast<std::size_t>(bank_idx)];
-    const std::int64_t row = rowOf(q[idx].line);
+    const std::int64_t row = q[static_cast<std::size_t>(idx)].row;
 
     if (bank.open_row != row) {
         // Activation phase: precharge + activate bookkeeping only. The
@@ -316,9 +320,8 @@ DramChannel::nextWork(Cycle now) const
     auto earliest_cas = [this, now](const std::deque<DramCmd> &cq,
                                     Cycle bound) {
         for (const DramCmd &c : cq) {
-            const Bank &b =
-                banks_[static_cast<std::size_t>(bankOf(c.line))];
-            if (b.open_row != rowOf(c.line))
+            const Bank &b = banks_[static_cast<std::size_t>(c.bank)];
+            if (b.open_row != c.row)
                 continue;
             Cycle t = std::max(b.col_ready, b.act_done);
             if (!c.is_write)

@@ -88,6 +88,12 @@ struct DramCmd
 
     /** Set when this command triggered the bank's activation. */
     bool activated = false;
+
+    /** Channel-local bank/row, memoized by enqueue() — pure functions
+     *  of @c line, but the FR-FCFS scans read them per queue entry per
+     *  cycle and the div/mod chain dominates otherwise. */
+    int bank = 0;
+    std::int64_t row = 0;
 };
 
 /** A finished access, reported back to the memory partition. */

@@ -13,10 +13,16 @@ WarpScheduler::WarpScheduler(int max_warps, int schedulers,
       gto_(gto),
       greedy_warp_(static_cast<std::size_t>(schedulers), kInvalidWarp),
       decode_rr_(static_cast<std::size_t>(schedulers), 0),
-      lrr_next_(static_cast<std::size_t>(schedulers), 0)
+      lrr_next_(static_cast<std::size_t>(schedulers), 0),
+      parity_mask_(static_cast<std::size_t>(schedulers), 0)
 {
     CABA_CHECK(schedulers_ >= 1, "need at least one scheduler");
+    CABA_CHECK(max_warps_ >= 1 && max_warps_ <= 64,
+               "selection bitsets support at most 64 warps per SM");
     warps_.resize(static_cast<std::size_t>(max_warps));
+    for (int w = 0; w < max_warps_; ++w)
+        parity_mask_[static_cast<std::size_t>(w % schedulers_)] |=
+            std::uint64_t{1} << w;
 }
 
 void
@@ -37,6 +43,9 @@ WarpScheduler::launch(const KernelInfo *kernel, int num_warps,
         ws.global_id = warp_global_base + w * warp_global_stride;
         ws.trips_left = std::max(1, kernel->iterations(ws.global_id));
     }
+    issuable_ = blocked_ = decodable_ = 0;
+    for (int w = 0; w < max_warps_; ++w)
+        refreshWarp(w);
 }
 
 void
@@ -72,22 +81,20 @@ WarpScheduler::decodeCycle()
 {
     if (!kernel_)
         return;
+    const int slots = max_warps_ / schedulers_;
     for (int s = 0; s < schedulers_; ++s) {
-        // Round-robin pick of one warp of this scheduler's parity.
-        const int slots = max_warps_ / schedulers_;
-        for (int k = 0; k < slots; ++k) {
-            const int w = ((decode_rr_[static_cast<std::size_t>(s)] + k) %
-                           slots) * schedulers_ + s;
-            WarpState &ws = warps_[static_cast<std::size_t>(w)];
-            if (!ws.exists || ws.done || ws.decode_done ||
-                static_cast<int>(ws.ibuf.size()) >= ibuffer_entries_) {
-                continue;
-            }
-            decodeOneWarp(ws);
-            decode_rr_[static_cast<std::size_t>(s)] =
-                (w / schedulers_ + 1) % slots;
-            break;
-        }
+        // Round-robin pick of one warp of this scheduler's parity: the
+        // first decodable warp at or after the rotation point, wrapping.
+        const std::size_t si = static_cast<std::size_t>(s);
+        const std::uint64_t cand = decodable_ & parity_mask_[si];
+        if (cand == 0)
+            continue;
+        const int start_w = decode_rr_[si] * schedulers_ + s;
+        const std::uint64_t hi = cand & (~std::uint64_t{0} << start_w);
+        const int w = std::countr_zero(hi != 0 ? hi : cand);
+        decodeOneWarp(warps_[static_cast<std::size_t>(w)]);
+        refreshWarp(w);
+        decode_rr_[si] = (w / schedulers_ + 1) % slots;
     }
 }
 
@@ -96,38 +103,19 @@ WarpScheduler::warpReady(const WarpState &w) const
 {
     if (!w.exists || w.done || w.ibuf.empty())
         return false;
-    const Instruction &inst = *w.ibuf.front().inst;
-    std::uint64_t need = 0;
-    if (inst.dst >= 0)
-        need |= std::uint64_t{1} << inst.dst;
-    if (inst.src0 >= 0)
-        need |= std::uint64_t{1} << inst.src0;
-    if (inst.src1 >= 0)
-        need |= std::uint64_t{1} << inst.src1;
-    return (w.pending_regs & need) == 0;
+    return frontReady(w);
 }
 
 bool
 WarpScheduler::anyDecodable() const
 {
-    if (!kernel_)
-        return false;
-    for (const WarpState &w : warps_) {
-        if (w.exists && !w.done && !w.decode_done &&
-            static_cast<int>(w.ibuf.size()) < ibuffer_entries_) {
-            return true;
-        }
-    }
-    return false;
+    return kernel_ != nullptr && decodable_ != 0;
 }
 
 bool
 WarpScheduler::anyReady() const
 {
-    for (const WarpState &w : warps_)
-        if (warpReady(w))
-            return true;
-    return false;
+    return issuable_ != 0;
 }
 
 } // namespace caba

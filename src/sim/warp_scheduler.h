@@ -6,10 +6,18 @@
  * Execution itself stays with SmCore — the scheduler hands it a warp id
  * through a try-issue callback and keeps its greedy/rotation bookkeeping
  * consistent with whether the issue actually happened.
+ *
+ * Selection is struct-of-arrays: three uint64 bitsets (issuable,
+ * operand-blocked, decodable — one bit per warp) are kept in lockstep
+ * with the per-warp state, so the per-cycle decode and issue picks are
+ * rotated word-scans instead of per-warp loops. Any out-of-band
+ * mutation of a WarpState must be followed by refreshWarp(); the picks
+ * visit warps in exactly the order the historical loops did.
  */
 #ifndef CABA_SIM_WARP_SCHEDULER_H
 #define CABA_SIM_WARP_SCHEDULER_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +92,9 @@ class WarpScheduler
     /** Scoreboard check of the warp's next buffered instruction. */
     bool warpReady(const WarpState &w) const;
 
+    /** Mutable warp state. Callers that change readiness-relevant
+     *  fields (pending_regs, ibuf, done) must call refreshWarp() —
+     *  pickAndIssue() does so around its try-issue callback. */
     WarpState &
     warp(int w)
     {
@@ -100,8 +111,26 @@ class WarpScheduler
     void
     clearPending(int w, std::uint64_t mask)
     {
-        if (w != kInvalidWarp)
-            warps_[static_cast<std::size_t>(w)].pending_regs &= ~mask;
+        if (w == kInvalidWarp)
+            return;
+        warps_[static_cast<std::size_t>(w)].pending_regs &= ~mask;
+        refreshWarp(w);
+    }
+
+    /** Recomputes warp @p w's cached selection bits from its state. */
+    void
+    refreshWarp(int w)
+    {
+        const WarpState &ws = warps_[static_cast<std::size_t>(w)];
+        const std::uint64_t bit = std::uint64_t{1} << w;
+        const bool alive = ws.exists && !ws.done;
+        const bool buffered = alive && !ws.ibuf.empty();
+        const bool ready = buffered && frontReady(ws);
+        setBit(&issuable_, bit, ready);
+        setBit(&blocked_, bit, buffered && !ready);
+        setBit(&decodable_, bit,
+               alive && !ws.decode_done &&
+                   static_cast<int>(ws.ibuf.size()) < ibuffer_entries_);
     }
 
     int liveWarps() const { return live_warps_; }
@@ -120,30 +149,40 @@ class WarpScheduler
     bool
     pickAndIssue(int s, bool *saw_data_block, TryIssue &&try_issue)
     {
-        const int g = greedy_warp_[static_cast<std::size_t>(s)];
-        if (gto_ && g != kInvalidWarp &&
-            warpReady(warps_[static_cast<std::size_t>(g)])) {
-            if (try_issue(g))
+        const std::size_t si = static_cast<std::size_t>(s);
+        const int g = greedy_warp_[si];
+        if (gto_ && g != kInvalidWarp && ((issuable_ >> g) & 1)) {
+            const bool ok = try_issue(g);
+            refreshWarp(g);
+            if (ok)
                 return true;
         }
         const int slots = max_warps_ / schedulers_;
-        const int start = gto_ ? 0 : lrr_next_[static_cast<std::size_t>(s)];
-        for (int k = 0; k < slots; ++k) {
-            const int w = ((start + k) % slots) * schedulers_ + s;
-            const WarpState &ws = warps_[static_cast<std::size_t>(w)];
-            if (!ws.exists || ws.done)
-                continue;
-            if (!ws.ibuf.empty() && !warpReady(ws)) {
-                *saw_data_block = true;
-                continue;
-            }
-            if (!warpReady(ws))
-                continue;
-            if (try_issue(w)) {
-                greedy_warp_[static_cast<std::size_t>(s)] = w;
-                lrr_next_[static_cast<std::size_t>(s)] =
-                    (start + k + 1) % slots;
-                return true;
+        const int start = gto_ ? 0 : lrr_next_[si];
+        // Rotated word-scan over this scheduler's parity. Candidates
+        // are the issuable and operand-blocked warps; visiting them in
+        // the historical slot order keeps the blocked-warp stall
+        // attribution (only warps scanned before a successful issue
+        // report a data block) exactly as the per-warp loop had it.
+        const std::uint64_t cand =
+            (issuable_ | blocked_) & parity_mask_[si];
+        const int start_w = start * schedulers_ + s;
+        const std::uint64_t hi = cand & (~std::uint64_t{0} << start_w);
+        for (std::uint64_t m : {hi, cand ^ hi}) {
+            while (m != 0) {
+                const int w = std::countr_zero(m);
+                m &= m - 1;
+                if ((blocked_ >> w) & 1) {
+                    *saw_data_block = true;
+                    continue;
+                }
+                const bool ok = try_issue(w);
+                refreshWarp(w);
+                if (ok) {
+                    greedy_warp_[si] = w;
+                    lrr_next_[si] = (w / schedulers_ + 1) % slots;
+                    return true;
+                }
             }
         }
         return false;
@@ -160,6 +199,27 @@ class WarpScheduler
   private:
     void decodeOneWarp(WarpState &w);
 
+    /** Scoreboard check of @p w's front instruction (ibuf nonempty). */
+    static bool
+    frontReady(const WarpState &w)
+    {
+        const Instruction &inst = *w.ibuf.front().inst;
+        std::uint64_t need = 0;
+        if (inst.dst >= 0)
+            need |= std::uint64_t{1} << inst.dst;
+        if (inst.src0 >= 0)
+            need |= std::uint64_t{1} << inst.src0;
+        if (inst.src1 >= 0)
+            need |= std::uint64_t{1} << inst.src1;
+        return (w.pending_regs & need) == 0;
+    }
+
+    static void
+    setBit(std::uint64_t *mask, std::uint64_t bit, bool on)
+    {
+        *mask = on ? (*mask | bit) : (*mask & ~bit);
+    }
+
     int max_warps_;
     int schedulers_;
     int ibuffer_entries_;
@@ -173,6 +233,15 @@ class WarpScheduler
     std::vector<int> greedy_warp_;
     std::vector<int> decode_rr_;
     std::vector<int> lrr_next_;     ///< Rotation points for LRR mode.
+
+    // Selection bitsets, bit w = warps_[w] (kept in lockstep by
+    // refreshWarp; max_warps <= 64 is checked at construction).
+    std::uint64_t issuable_ = 0;    ///< exists, buffered, scoreboard-clear
+    std::uint64_t blocked_ = 0;     ///< exists, buffered, operand-blocked
+    std::uint64_t decodable_ = 0;   ///< exists, fetchable, ibuf has room
+
+    /** Bit w set iff w % schedulers == s (scheduler s's warps). */
+    std::vector<std::uint64_t> parity_mask_;
 };
 
 } // namespace caba

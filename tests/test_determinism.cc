@@ -1,9 +1,10 @@
 /**
  * @file
- * The fast-forward invariant: quiescence skipping in GpuSystem::run()
- * must be invisible. For one small app across all five Section 6 design
- * points, a fast-forwarded run and a cycle-by-cycle run must agree on
- * EVERY observable of RunResult — cycles, instructions, the Figure 1
+ * The run-loop invariants: quiescence skipping and the event-driven
+ * scheduler in GpuSystem::run() must both be invisible. For one small
+ * app across all five Section 6 design points, every combination of
+ * {event-driven, walk-everything} x {fast-forward, ticked} must agree
+ * on EVERY observable of RunResult — cycles, instructions, the Figure 1
  * breakdown, every merged counter and gauge, every histogram, every
  * derived double, and the whole sampled timeline. Run-to-run
  * repeatability rides along.
@@ -29,10 +30,12 @@ tinyApp()
 }
 
 RunResult
-runSystem(const DesignConfig &design, bool fast_forward)
+runSystem(const DesignConfig &design, bool fast_forward,
+          bool event_driven = true)
 {
     GpuConfig cfg;
     cfg.fast_forward = fast_forward;
+    cfg.event_driven = event_driven;
     // A short interval lands samples inside skipped spans.
     cfg.sample_interval = 512;
     const AppDescriptor app = tinyApp();
@@ -111,6 +114,22 @@ TEST(Determinism, FastForwardIsBitIdenticalAcrossAllDesigns)
         const RunResult ff = runSystem(d.design, true);
         const RunResult ticked = runSystem(d.design, false);
         expectIdentical(ff, ticked);
+    }
+}
+
+TEST(Determinism, EventDrivenIsBitIdenticalAcrossAllDesigns)
+{
+    // The four loop variants — {event-driven, walk-everything} x
+    // {fast-forward, ticked} — must agree on every observable.
+    for (const NamedDesign &d : allDesigns()) {
+        SCOPED_TRACE(d.name);
+        const RunResult event_ff = runSystem(d.design, true, true);
+        const RunResult event_ticked = runSystem(d.design, false, true);
+        const RunResult legacy_ff = runSystem(d.design, true, false);
+        const RunResult legacy_ticked = runSystem(d.design, false, false);
+        expectIdentical(event_ff, legacy_ff);
+        expectIdentical(event_ff, event_ticked);
+        expectIdentical(legacy_ff, legacy_ticked);
     }
 }
 
