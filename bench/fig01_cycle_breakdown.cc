@@ -6,6 +6,14 @@
  * bandwidth. Paper finding: 17/27 apps are memory-bound, and for them
  * Memory + Data Dependence stalls are ~61% of issue cycles at 1x BW,
  * shrinking at 2x and growing at 1/2x.
+ *
+ * The shares are exact, not estimated: every issue slot of every
+ * accounted cycle is charged to exactly one sm_slot_* category by the
+ * scheduler (DESIGN.md section 11), and the audit layer proves the
+ * categories sum to cycles x issue slots on every run. The paper's five
+ * bars group the nine categories as: Active = issued + AW-issued,
+ * Memory = mem-structural + mem-data, Data-Dep = scoreboard (non-mem),
+ * Compute = compute-structural, Idle = ibuf-empty + sync + idle.
  */
 #include <cstdio>
 #include <string>
@@ -16,6 +24,42 @@
 #include "harness/runner.h"
 
 using namespace caba;
+
+namespace {
+
+/** The paper's five Figure 1 bars, as fractions of all issue slots. */
+struct SlotShares
+{
+    double active = 0, memory = 0, data = 0, compute = 0, idle = 0;
+};
+
+SlotShares
+slotShares(const RunResult &r)
+{
+    const auto slots = [&](const char *name) {
+        return static_cast<double>(
+            r.stats.get(std::string("sm_") + name));
+    };
+    SlotShares s;
+    s.active = slots("slot_issued") + slots("slot_aw_issued");
+    s.memory = slots("slot_mem_struct") + slots("slot_mem_data");
+    s.data = slots("slot_scoreboard");
+    s.compute = slots("slot_comp_struct");
+    s.idle = slots("slot_ibuf_empty") + slots("slot_sync") +
+             slots("slot_idle");
+    const double total =
+        s.active + s.memory + s.data + s.compute + s.idle;
+    if (total > 0) {
+        s.active /= total;
+        s.memory /= total;
+        s.data /= total;
+        s.compute /= total;
+        s.idle /= total;
+    }
+    return s;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -31,7 +75,7 @@ main(int argc, char **argv)
              "active"});
 
     struct Avg { double mem = 0, data = 0; int n = 0; };
-    std::vector<Avg> avg_mem_bound(3), avg_all(3);
+    std::vector<Avg> avg_mem_bound(3);
 
     for (const AppDescriptor &app : fig1Apps()) {
         for (int b = 0; b < 3; ++b) {
@@ -42,20 +86,15 @@ main(int argc, char **argv)
             // the three runs per app stay distinguishable in the JSON.
             json.addCell(app.name,
                          "Base@" + Table::num(bw_points[b], 1) + "x", r);
-            const double total =
-                static_cast<double>(r.breakdown.total());
-            const double comp = r.breakdown.comp_stall / total;
-            const double mem = r.breakdown.mem_stall / total;
-            const double data = r.breakdown.data_stall / total;
-            const double idle = r.breakdown.idle / total;
-            const double act = r.breakdown.active / total;
+            const SlotShares s = slotShares(r);
             t.addRow({app.name, app.memory_bound ? "Mem" : "Comp",
-                      Table::num(bw_points[b], 1) + "x", Table::pct(comp),
-                      Table::pct(mem), Table::pct(data), Table::pct(idle),
-                      Table::pct(act)});
+                      Table::num(bw_points[b], 1) + "x",
+                      Table::pct(s.compute), Table::pct(s.memory),
+                      Table::pct(s.data), Table::pct(s.idle),
+                      Table::pct(s.active)});
             if (app.memory_bound) {
-                avg_mem_bound[b].mem += mem;
-                avg_mem_bound[b].data += data;
+                avg_mem_bound[b].mem += s.memory;
+                avg_mem_bound[b].data += s.data;
                 ++avg_mem_bound[b].n;
             }
         }

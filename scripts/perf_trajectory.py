@@ -87,6 +87,35 @@ def run_rep(bench, scale, json_path):
     return wall, design_wall
 
 
+def run_profiled_rep(bench, scale, json_path, prof_path):
+    """One extra rep with CABA_PROF attached (not counted in wall time).
+
+    Returns the per-(component, phase) attribution from the bench's
+    caba-prof-v1 document. The rep doubles as an end-to-end determinism
+    check: the caller compares its bench JSON against the timed reps'.
+    """
+    env = dict(os.environ)
+    env["CABA_SCALE"] = repr(scale)
+    env["CABA_JOBS"] = "1"
+    env["CABA_PROF"] = prof_path
+    subprocess.run(
+        [bench, "--json", json_path],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        check=True,
+    )
+    with open(prof_path) as f:
+        prof_doc = json.load(f)
+    if prof_doc.get("schema") != "caba-prof-v1":
+        sys.exit("error: unexpected profile JSON schema")
+    return {
+        f"{e['component']}/{e['phase']}": e["ns"]
+        for e in prof_doc["entries"]
+        if e["calls"] > 0
+    }
+
+
 def result_rows(bench_doc):
     """Compact per-cell digest: enough to prove identical simulation."""
     rows = []
@@ -116,6 +145,11 @@ def main():
                     help="commit sha to record (default: git rev-parse)")
     ap.add_argument("--note", default=None,
                     help="free-form annotation recorded in the document")
+    ap.add_argument("--profile", action="store_true",
+                    help="add one untimed CABA_PROF rep and record the "
+                         "per-component wall-clock attribution (written "
+                         "to <out>.prof.json and embedded under "
+                         "'profile', a key bench_compare ignores)")
     args = ap.parse_args()
 
     commit = args.commit
@@ -146,6 +180,20 @@ def main():
         walls.append(wall)
         os.remove(json_path)
 
+    profile_attr = None
+    if args.profile:
+        json_path = f"{args.out}.prof_rep.bench.json"
+        prof_path = f"{args.out}.prof.json"
+        profile_attr = run_profiled_rep(
+            args.bench, args.scale, json_path, prof_path
+        )
+        with open(json_path, "rb") as f:
+            if f.read() != first_bench_json:
+                sys.exit("error: bench JSON differs with CABA_PROF set "
+                         "(the profiler perturbed the simulation)")
+        os.remove(json_path)
+        print(f"profiled rep: attribution in {prof_path}", file=sys.stderr)
+
     bench_doc = json.loads(first_bench_json)
     if bench_doc.get("schema") != "caba-bench-v1":
         sys.exit("error: unexpected bench JSON schema")
@@ -173,6 +221,11 @@ def main():
     }
     if args.note:
         doc["note"] = args.note
+    if profile_attr is not None:
+        doc["profile"] = {
+            "source": os.path.basename(f"{args.out}.prof.json"),
+            "attributed_ns": profile_attr,
+        }
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=1, sort_keys=False)
         f.write("\n")

@@ -28,6 +28,7 @@ enum class AssistPurpose : std::uint8_t {
     Compress,       ///< Compress a buffered store (Section 4.2.2).
     Memoize,        ///< LUT insert/lookup (Section 7.1).
     Prefetch,       ///< Opportunistic prefetch issue (Section 7.2).
+    Profile,        ///< Stall-vector sampling (framework paper, Sec. 5).
 };
 
 /** One instruction of an assist-warp subroutine, as the AWS stores it. */

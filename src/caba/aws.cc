@@ -76,6 +76,19 @@ AssistWarpStore::prefetchRoutine()
     return it->second;
 }
 
+const std::vector<AssistInstr> &
+AssistWarpStore::profileRoutine()
+{
+    const auto key = std::make_pair(std::string("profile"), 0);
+    auto it = store_.find(key);
+    if (it == store_.end()) {
+        // Read scheduler stall vectors (2 ALU) + store the sample to
+        // the shared-memory ring (1 mem).
+        it = store_.emplace(key, synthesize({2, 1})).first;
+    }
+    return it->second;
+}
+
 int
 AssistWarpStore::storedInstructions() const
 {

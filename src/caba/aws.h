@@ -47,6 +47,10 @@ class AssistWarpStore
     /** Fixed-shape routine that computes+issues a prefetch (Section 7.2). */
     const std::vector<AssistInstr> &prefetchRoutine();
 
+    /** Fixed-shape routine that samples resident warps' stall vectors
+     *  (the profiling generalization of the CABA framework paper). */
+    const std::vector<AssistInstr> &profileRoutine();
+
     /** Total instructions resident in the store (hardware sizing stat). */
     int storedInstructions() const;
 

@@ -15,7 +15,7 @@ namespace {
  * nothing else: snapshotting, raw(), typed accessors and --help-env all
  * derive from this table. Keep rows in the order users should read
  * them. */
-constexpr std::array<Var, 7> kVars{{
+constexpr std::array<Var, 8> kVars{{
     {"CABA_SCALE", Type::Real, "1.0",
      "Workload loop-trip multiplier, applied on top of any --scale flag; "
      "non-positive or unset keeps the configured scale."},
@@ -28,7 +28,8 @@ constexpr std::array<Var, 7> kVars{{
      "Chrome trace-event output path; presence enables tracing for the "
      "whole process."},
     {"CABA_TRACE_CATEGORIES", Type::Str, "all",
-     "Comma-separated trace categories: warp,assist,cache,dram,xbar,all."},
+     "Comma-separated trace categories: "
+     "warp,assist,cache,dram,xbar,slots,counter,all."},
     {"CABA_NO_FASTFORWARD", Type::Flag, "(unset: fast-forward on)",
      "Force cycle-by-cycle simulation, disabling quiescence fast-forward "
      "(the CI determinism smoke job byte-diffs both modes)."},
@@ -36,6 +37,11 @@ constexpr std::array<Var, 7> kVars{{
      "Event-driven run loop: components sleep until their nextWork() "
      "hint or incoming traffic. 0 forces the legacy walk-everything "
      "loop (CI byte-diffs both; results are bit-identical)."},
+    {"CABA_PROF", Type::Str, "(unset: profiler off)",
+     "In-loop wall-clock profiler output path: attributes host time per "
+     "component class and phase, writes caba-prof-v1 JSON at exit plus "
+     "a top-N table on stderr. Simulation results are bit-identical "
+     "profiler on/off."},
 }};
 
 std::size_t

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * In-loop wall-clock profiler for the run loop (DESIGN.md section 11).
+ * When CABA_PROF=<path> is set, GpuSystem timestamps every component
+ * cycle batch, skipIdle catch-up and quiescence jump, attributing host
+ * nanoseconds to (component class, phase) buckets. The process exit
+ * hook writes a deterministic-schema `caba-prof-v1` JSON document to
+ * the given path (every bucket always present, fixed order — only the
+ * measured values vary) and prints a top-N table to stderr. This is
+ * the tool that found the DRAM FR-FCFS hotspot behind the PR 6
+ * speedup, built in.
+ *
+ * Determinism contract: the profiler reads host clocks but never reads
+ * or writes simulation state, so RunResult is bit-identical with
+ * profiling on or off (asserted by tests/test_prof.cc). All wall-clock
+ * reads live in prof.cc, which is whitelisted by caba-lint's
+ * determinism rule alongside common/self_profile.*.
+ */
+#ifndef CABA_COMMON_PROF_H
+#define CABA_COMMON_PROF_H
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace caba {
+namespace prof {
+
+/** Component classes host time is attributed to. */
+enum class Comp : int {
+    Sm,         ///< SmCore cycle/catch-up work.
+    XbarReq,    ///< Request-crossbar direction.
+    XbarReply,  ///< Reply-crossbar direction.
+    Partition,  ///< Memory partition (L2 + MD + DRAM channel).
+    Wire,       ///< Traffic pumping (includes wake-side catch-ups).
+    Loop,       ///< Whole-run loop (inclusive; jump = quiescence skips).
+    kCount,
+};
+
+/** What the component was doing when the time was spent. */
+enum class Phase : int {
+    Cycle,      ///< cycle(now) calls.
+    CatchUp,    ///< Deferred skipIdle() spans charged on wake.
+    Jump,       ///< Quiescence-jump bookkeeping (eventJump/fastForward).
+    kCount,
+};
+
+inline constexpr int kComps = static_cast<int>(Comp::kCount);
+inline constexpr int kPhases = static_cast<int>(Phase::kCount);
+inline constexpr int kBuckets = kComps * kPhases;
+
+/** Stable lower-case names (JSON schema fields). */
+const char *compName(Comp c);
+const char *phaseName(Phase p);
+
+/** Live read of CABA_PROF: non-empty means profiling is requested.
+ *  GpuSystem samples this once per construction. */
+bool enabledEnv();
+
+/** Monotonic host time in nanoseconds. The only wall-clock read on the
+ *  simulator side outside common/self_profile.* and the trace sink. */
+std::int64_t nowNs();
+
+/**
+ * Per-GpuSystem accumulator: plain arrays on the hot path (no locking,
+ * no allocation), merged into the process-global table by flush() once
+ * per run. Sweeps run cells on worker threads; each cell owns its
+ * Recorder, so the global mutex is taken once per cell, not per cycle.
+ */
+class Recorder
+{
+  public:
+    void
+    add(Comp c, Phase p, std::int64_t ns)
+    {
+        const std::size_t i = index(c, p);
+        ns_[i] += ns;
+        ++calls_[i];
+    }
+
+    /** Merges this recorder into the global table and zeroes it. */
+    void flush();
+
+  private:
+    static std::size_t
+    index(Comp c, Phase p)
+    {
+        return static_cast<std::size_t>(static_cast<int>(c) * kPhases +
+                                        static_cast<int>(p));
+    }
+
+    std::array<std::int64_t, kBuckets> ns_{};
+    std::array<std::uint64_t, kBuckets> calls_{};
+};
+
+/** Snapshot of one global bucket (tests / report). */
+struct Bucket
+{
+    Comp comp = Comp::Sm;
+    Phase phase = Phase::Cycle;
+    std::int64_t ns = 0;
+    std::uint64_t calls = 0;
+};
+
+/** All kBuckets global buckets in fixed (component, phase) order. */
+std::array<Bucket, kBuckets> snapshot();
+
+/** Zeroes the global table (test isolation). */
+void resetForTest();
+
+/**
+ * Writes the `caba-prof-v1` document to @p path: the fixed-order
+ * bucket array plus the SelfProfile build/run wall-clock totals, so
+ * the harness self-profile lands in the same artifact.
+ * @return false when the file cannot be opened.
+ */
+bool writeReport(const std::string &path);
+
+/** Prints the top-@p n buckets by wall time to @p out. */
+void reportTopN(std::FILE *out, int n);
+
+} // namespace prof
+} // namespace caba
+
+#endif // CABA_COMMON_PROF_H

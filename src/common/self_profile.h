@@ -4,8 +4,10 @@
  * host-time totals into a process-global table so a sweep can report
  * where real time went (workload synthesis vs. simulation vs. export).
  * This measures the *simulator*, not the simulated GPU — totals go to
- * stderr only and are deliberately kept out of the deterministic JSON
- * exports, which must stay byte-identical across runs and job counts.
+ * stderr and, when CABA_PROF is set, into the `caba-prof-v1` artifact
+ * (common/prof.h embeds snapshot() under "self_profile"); they are
+ * deliberately kept out of the deterministic bench JSON exports, which
+ * must stay byte-identical across runs and job counts.
  */
 #ifndef CABA_COMMON_SELF_PROFILE_H
 #define CABA_COMMON_SELF_PROFILE_H

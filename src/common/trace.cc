@@ -92,6 +92,8 @@ categoryName(Category c)
       case kCache: return "cache";
       case kDram: return "dram";
       case kXbar: return "xbar";
+      case kSlots: return "slots";
+      case kCounter: return "counter";
       default: return "other";
     }
 }
@@ -102,7 +104,8 @@ writeProcessNames(std::FILE *f)
     struct { int pid; const char *name; } procs[] = {
         {kPidSm, "SM issue"},       {kPidAssist, "assist warps"},
         {kPidCache, "caches"},      {kPidDram, "dram banks"},
-        {kPidXbar, "crossbar"},
+        {kPidXbar, "crossbar"},     {kPidSlots, "issue slots"},
+        {kPidCounter, "counters"},
     };
     for (const auto &p : procs) {
         std::fprintf(f,
@@ -174,6 +177,10 @@ maskFromNames(const char *csv)
             mask |= kDram;
         else if (token == "xbar")
             mask |= kXbar;
+        else if (token == "slots")
+            mask |= kSlots;
+        else if (token == "counter" || token == "counters")
+            mask |= kCounter;
         else if (token == "all")
             mask |= kAll;
         token.clear();
@@ -268,6 +275,15 @@ complete(Category cat, int pid, int tid, const char *name, Cycle ts,
     if (!on(cat))
         return;
     emit({name, arg_name, ts, dur, arg, pid, tid, cat, 'X'});
+}
+
+void
+counter(Category cat, int pid, int tid, const char *name, Cycle ts,
+        std::uint64_t value)
+{
+    if (!on(cat))
+        return;
+    emit({name, "value", ts, 0, value, pid, tid, cat, 'C'});
 }
 
 } // namespace trace

@@ -11,8 +11,8 @@
  * Activation:
  *  - environment: CABA_TRACE=<path> turns tracing on for the whole
  *    process and writes the trace at exit; CABA_TRACE_CATEGORIES is an
- *    optional comma list (warp,assist,cache,dram,xbar) defaulting to
- *    all of them.
+ *    optional comma list (warp,assist,cache,dram,xbar,slots,counter)
+ *    defaulting to all of them.
  *  - programmatic: trace::start(path, mask) / trace::stop() (tests).
  *
  * Threading: events append to per-thread buffers with no locking on
@@ -41,7 +41,11 @@ enum Category : unsigned {
     kCache = 1u << 2,       ///< L1 / L2 hit-miss, MD-cache lookups.
     kDram = 1u << 3,        ///< Per-bank GDDR5 data-bus bursts.
     kXbar = 1u << 4,        ///< Crossbar packet transfers.
-    kAll = (1u << 5) - 1,
+    kSlots = 1u << 5,       ///< Exact per-scheduler issue-slot taxonomy
+                            ///< spans (DESIGN.md section 11).
+    kCounter = 1u << 6,     ///< Counter tracks: event-queue depth,
+                            ///< issuable warps, DRAM read-queue depth.
+    kAll = (1u << 7) - 1,
 };
 
 /** Trace-process ids: one Chrome "process" lane per subsystem. */
@@ -51,6 +55,8 @@ inline constexpr int kPidCache = 3;  ///< tid = SM (L1), 100+part (L2),
                                      ///<       200+part (MD cache).
 inline constexpr int kPidDram = 4;   ///< tid = channel * 100 + bank.
 inline constexpr int kPidXbar = 5;   ///< tid = direction base + port.
+inline constexpr int kPidSlots = 6;  ///< tid = SM id * schedulers + s.
+inline constexpr int kPidCounter = 7; ///< tid = SM / partition id.
 
 /** Currently enabled categories; zero while no sink is open. */
 extern std::atomic<unsigned> g_mask;
@@ -62,7 +68,8 @@ on(Category c)
     return (g_mask.load(std::memory_order_relaxed) & c) != 0;
 }
 
-/** Parses "warp,assist,cache,dram,xbar" (unknown names ignored). */
+/** Parses "warp,assist,cache,dram,xbar,slots,counter" (unknown names
+ *  ignored). */
 unsigned maskFromNames(const char *csv);
 
 /**
@@ -89,6 +96,11 @@ void instant(Category cat, int pid, int tid, const char *name, Cycle ts,
 void complete(Category cat, int pid, int tid, const char *name, Cycle ts,
               Cycle dur, const char *arg_name = nullptr,
               std::uint64_t arg = 0);
+
+/** Records a counter ("C") sample: a named counter track whose value
+ *  at @p ts is @p value. One track per (pid, tid, name). */
+void counter(Category cat, int pid, int tid, const char *name, Cycle ts,
+             std::uint64_t value);
 
 } // namespace trace
 } // namespace caba

@@ -5,6 +5,7 @@
 
 #include "common/env.h"
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace caba {
 
@@ -49,6 +50,9 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const DesignConfig &design,
       req_net_(cfg.num_sms, cfg.num_partitions, cfg.xbar, 0),
       reply_net_(cfg.num_partitions, cfg.num_sms, cfg.xbar, 100)
 {
+    // Sampled per construction (not once per process) so tests can flip
+    // CABA_PROF between runs; sweeps never mutate env mid-run.
+    prof_on_ = prof::enabledEnv();
     if (design_.usesCompression()) {
         model_ = std::make_unique<CompressionModel>(backing_, design_.algo,
                                                     cfg_.verify_data);
@@ -186,6 +190,10 @@ GpuSystem::moveTraffic()
 void
 GpuSystem::step()
 {
+    if (prof_on_) {
+        stepProfiled();
+        return;
+    }
     for (auto &sm : sms_)
         sm->cycle(now_);
     moveTraffic();
@@ -194,6 +202,46 @@ GpuSystem::step()
     for (auto &part : partitions_)
         part->cycle(now_);
     ++now_;
+}
+
+void
+GpuSystem::stepProfiled()
+{
+    // Walk-mode attribution is per phase group, not per component: the
+    // clock reads bracket whole loops so the overhead stays far below
+    // the measured work.
+    std::int64_t t0 = prof::nowNs();
+    for (auto &sm : sms_)
+        sm->cycle(now_);
+    std::int64_t t1 = prof::nowNs();
+    prof_.add(prof::Comp::Sm, prof::Phase::Cycle, t1 - t0);
+    moveTraffic();
+    t0 = prof::nowNs();
+    prof_.add(prof::Comp::Wire, prof::Phase::Cycle, t0 - t1);
+    req_net_.cycle(now_);
+    t1 = prof::nowNs();
+    prof_.add(prof::Comp::XbarReq, prof::Phase::Cycle, t1 - t0);
+    reply_net_.cycle(now_);
+    t0 = prof::nowNs();
+    prof_.add(prof::Comp::XbarReply, prof::Phase::Cycle, t0 - t1);
+    for (auto &part : partitions_)
+        part->cycle(now_);
+    prof_.add(prof::Comp::Partition, prof::Phase::Cycle,
+              prof::nowNs() - t0);
+    ++now_;
+}
+
+prof::Comp
+GpuSystem::compClassOf(std::size_t i) const
+{
+    const std::size_t n_sms = sms_.size();
+    if (i < n_sms)
+        return prof::Comp::Sm;
+    if (i == n_sms)
+        return prof::Comp::XbarReq;
+    if (i == n_sms + 1)
+        return prof::Comp::XbarReply;
+    return prof::Comp::Partition;
 }
 
 bool
@@ -303,20 +351,8 @@ GpuSystem::wakeForTraffic(std::size_t i)
 }
 
 void
-GpuSystem::stepEvent()
+GpuSystem::pumpWiresEvent()
 {
-    const std::size_t n_sms = sms_.size();
-    auto run_component = [this](std::size_t i) {
-        if (!eq_.due(static_cast<int>(i), now_))
-            return;
-        catchUp(i, now_);
-        Clocked *c = clocked_[i];
-        c->cycle(now_);
-        acct_[i] = now_ + 1;
-        eq_.schedule(static_cast<int>(i), c->nextWork(now_ + 1));
-    };
-    for (std::size_t i = 0; i < n_sms; ++i)
-        run_component(i);
     // Wire phase: same order and greedy drain as moveTraffic(), plus
     // wake hooks. Taking from a source can unblock its owner (a full
     // crossbar output gates arbitration) just as accepting gives the
@@ -330,6 +366,45 @@ GpuSystem::stepEvent()
         do {
             w.dst->accept(w.src->take(), now_);
         } while (w.src->hasData(now_) && w.dst->canAccept());
+    }
+}
+
+void
+GpuSystem::stepEvent()
+{
+    const std::size_t n_sms = sms_.size();
+    auto run_component = [this](std::size_t i) {
+        if (!eq_.due(static_cast<int>(i), now_))
+            return;
+        Clocked *c = clocked_[i];
+        if (prof_on_) {
+            // The wire-phase wake catch-ups are charged to Wire; the
+            // ones below cover components woken by their own schedule.
+            const prof::Comp cls = compClassOf(i);
+            if (acct_[i] < now_) {
+                const std::int64_t t0 = prof::nowNs();
+                catchUp(i, now_);
+                prof_.add(cls, prof::Phase::CatchUp, prof::nowNs() - t0);
+            }
+            const std::int64_t t1 = prof::nowNs();
+            c->cycle(now_);
+            prof_.add(cls, prof::Phase::Cycle, prof::nowNs() - t1);
+        } else {
+            catchUp(i, now_);
+            c->cycle(now_);
+        }
+        acct_[i] = now_ + 1;
+        eq_.schedule(static_cast<int>(i), c->nextWork(now_ + 1));
+    };
+    for (std::size_t i = 0; i < n_sms; ++i)
+        run_component(i);
+    if (prof_on_) {
+        const std::int64_t t0 = prof::nowNs();
+        pumpWiresEvent();
+        prof_.add(prof::Comp::Wire, prof::Phase::Cycle,
+                  prof::nowNs() - t0);
+    } else {
+        pumpWiresEvent();
     }
     for (std::size_t i = n_sms; i < clocked_.size(); ++i)
         run_component(i);
@@ -365,6 +440,18 @@ GpuSystem::run()
 {
     const bool ff = cfg_.fast_forward && !noFastForwardEnv();
     const bool ed = cfg_.event_driven && eventDrivenEnvOn();
+    // loop/cycle is inclusive wall time for the whole run: the gap to
+    // the sum of the component buckets is the loop's own overhead.
+    const std::int64_t run_t0 = prof_on_ ? prof::nowNs() : 0;
+    auto timed_jump = [this](auto &&fn) {
+        if (!prof_on_) {
+            fn();
+            return;
+        }
+        const std::int64_t t0 = prof::nowNs();
+        fn();
+        prof_.add(prof::Comp::Loop, prof::Phase::Jump, prof::nowNs() - t0);
+    };
     // Timeline sampling (counter-based rather than now_ % interval so a
     // mid-run caller of step() cannot desynchronize the cadence).
     until_sample_ = cfg_.sample_interval;
@@ -374,11 +461,11 @@ GpuSystem::run()
     while (!done()) {
         if (ed) {
             if (ff)
-                eventJump();
+                timed_jump([this] { eventJump(); });
             stepEvent();
         } else {
             if (ff)
-                fastForward();
+                timed_jump([this] { fastForward(); });
             step();
         }
         CABA_CHECK(now_ < cfg_.max_cycles, "simulation exceeded max_cycles");
@@ -394,18 +481,52 @@ GpuSystem::run()
     if (ed) {
         // Settle the deferred idle accounting of anything still asleep
         // (e.g. retired SMs accumulating throttle-window history).
-        for (std::size_t i = 0; i < clocked_.size(); ++i)
-            catchUp(i, now_);
+        for (std::size_t i = 0; i < clocked_.size(); ++i) {
+            if (prof_on_ && acct_[i] < now_) {
+                const std::int64_t t0 = prof::nowNs();
+                catchUp(i, now_);
+                prof_.add(compClassOf(i), prof::Phase::CatchUp,
+                          prof::nowNs() - t0);
+            } else {
+                catchUp(i, now_);
+            }
+        }
     }
     if (cfg_.sample_interval > 0)
         timeline_.push_back(sampleNow());   // final state
     runAudit(true);
+    if (prof_on_) {
+        prof_.add(prof::Comp::Loop, prof::Phase::Cycle,
+                  prof::nowNs() - run_t0);
+        prof_.flush();
+    }
     return collect();
 }
 
 TimeSample
 GpuSystem::sampleNow() const
 {
+    // Counter tracks ride the timeline cadence: advanceQuiescent()
+    // replays mid-skip samples from frozen state, so the track is
+    // identical across run-loop modes except the event-queue depth
+    // (which measures the event loop itself and reads 0 in walk mode).
+    if (trace::on(trace::kCounter)) {
+        trace::counter(trace::kCounter, trace::kPidCounter, 0,
+                       "event_queue_depth", now_,
+                       static_cast<std::uint64_t>(eq_.heapEntries()));
+        for (std::size_t i = 0; i < sms_.size(); ++i) {
+            trace::counter(trace::kCounter, trace::kPidCounter,
+                           static_cast<int>(i), "issuable_warps", now_,
+                           static_cast<std::uint64_t>(
+                               sms_[i]->issuableWarps()));
+        }
+        for (std::size_t p = 0; p < partitions_.size(); ++p) {
+            trace::counter(trace::kCounter, trace::kPidCounter,
+                           static_cast<int>(p), "dram_read_queue", now_,
+                           static_cast<std::uint64_t>(
+                               partitions_[p]->dram().readQueueDepth()));
+        }
+    }
     TimeSample t;
     t.cycle = now_;
     for (const auto &sm : sms_)

@@ -27,6 +27,7 @@
 #include "common/audit.h"
 #include "common/component.h"
 #include "common/event_queue.h"
+#include "common/prof.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
 #include "gpu/design.h"
@@ -185,6 +186,15 @@ class GpuSystem
      *  (same phase order as step()), pumps wires with wake hooks. */
     void stepEvent();
 
+    /** Wire phase of stepEvent(): greedy drain plus wake hooks. */
+    void pumpWiresEvent();
+
+    /** step() with per-phase wall-clock attribution (CABA_PROF). */
+    void stepProfiled();
+
+    /** Profiler component class of clocked_ index @p i. */
+    prof::Comp compClassOf(std::size_t i) const;
+
     /** Quiescence jump over [now_, min wake): like fastForward() but
      *  reads the cached wake times instead of re-polling nextWork(),
      *  and leaves the skip accounting to the lazy catch-up. */
@@ -245,6 +255,12 @@ class GpuSystem
     Cycle until_sample_ = 0;    ///< run()'s sampling countdown.
     Cycle until_audit_ = 0;     ///< run()'s periodic-audit countdown.
     std::vector<TimeSample> timeline_;
+
+    /** CABA_PROF sampled at construction (common/prof.h). The profiler
+     *  reads host clocks only — never simulation state — so results
+     *  are bit-identical with it on or off. */
+    bool prof_on_ = false;
+    prof::Recorder prof_;
 };
 
 } // namespace caba

@@ -243,8 +243,22 @@ DramChannel::issue(std::deque<DramCmd> &q, int idx, Cycle now)
 }
 
 void
+DramChannel::advanceBusWindows(Cycle now)
+{
+    // Lazy boundary advance: closes every window that ended by `now`.
+    // Busy quarters are frozen during quiescent stretches, so skipped
+    // windows record the same (usually zero) delta a ticked loop would.
+    while (bus_window_start_ + kBusWindowCycles <= now) {
+        bus_window_busy_.record(bus_busy_q_ - bus_window_base_);
+        bus_window_base_ = bus_busy_q_;
+        bus_window_start_ += kBusWindowCycles;
+    }
+}
+
+void
 DramChannel::cycle(Cycle now)
 {
+    advanceBusWindows(now);
     if (read_q_.empty() && write_q_.empty())
         return;
     if (static_cast<int>(completed_.size()) >= cfg_.banks + 8) {
@@ -343,6 +357,12 @@ DramChannel::skipIdle(Cycle from, Cycle to)
     // back up, the no-eligible-command stall otherwise. The write-drain
     // flag is left alone: nextWork() only permits a skip when it is at
     // its fixpoint for the current queue state.
+    //
+    // Window boundaries must match the ticked loop exactly: cycle(t)
+    // runs for t in [from, to) there, so the last advance a skip may
+    // replicate is to-1 — advancing to `to` would close a window one
+    // call early and break byte-identicality across loop modes.
+    advanceBusWindows(to - 1);
     if (read_q_.empty() && write_q_.empty())
         return;
     const std::uint64_t k = to - from;
@@ -393,6 +413,7 @@ DramChannel::stats() const
     s.setCounter("sched_no_eligible", sched_no_eligible_);
     s.setCounter("sched_blocked_inflight_cap", sched_blocked_cap_);
     s.dist("read_queue_depth").merge(read_queue_depth_);
+    s.dist("bus_window_busy_quarters").merge(bus_window_busy_);
     return s;
 }
 

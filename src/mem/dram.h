@@ -141,6 +141,9 @@ class DramChannel : public Clocked
     /** Fraction of elapsed time the data bus moved data. */
     double busUtilization(Cycle elapsed) const;
 
+    /** Current read-queue occupancy (counter trace track). */
+    int readQueueDepth() const { return static_cast<int>(read_q_.size()); }
+
     /** Assembles the counter snapshot (reads, writes, bursts, rows...). */
     StatSet stats() const;
 
@@ -223,6 +226,22 @@ class DramChannel : public Clocked
 
     /** Read-queue depth sampled at every enqueue. */
     Distribution read_queue_depth_;
+
+    /** Bus-utilization windows: busy quarter-cycles are attributed to
+     *  the fixed window in which their CAS issued, giving a burstiness
+     *  histogram on top of the scalar utilization. A window can exceed
+     *  its 4 * kBusWindowCycles quarter capacity when reservations
+     *  stack into later windows — this is attribution, not occupancy. */
+    static constexpr Cycle kBusWindowCycles = 1024;
+
+    /** Records every window ending at or before @p now. Must run
+     *  before the queue-empty early returns in cycle()/skipIdle() so
+     *  both loops close windows at identical boundaries. */
+    void advanceBusWindows(Cycle now);
+
+    Cycle bus_window_start_ = 0;
+    std::uint64_t bus_window_base_ = 0;
+    Distribution bus_window_busy_;
 };
 
 } // namespace caba

@@ -21,6 +21,7 @@ purposeName(AssistPurpose p)
       case AssistPurpose::Compress: return "compress";
       case AssistPurpose::Memoize: return "memoize";
       case AssistPurpose::Prefetch: return "prefetch";
+      case AssistPurpose::Profile: return "profile";
     }
     return "assist";
 }
@@ -30,6 +31,12 @@ const char *const kIssueClassNames[] = {
 };
 
 } // namespace
+
+const char *const kSlotCategoryNames[kNumSlotCategories] = {
+    "slot_issued",     "slot_aw_issued", "slot_mem_struct",
+    "slot_comp_struct", "slot_mem_data",  "slot_scoreboard",
+    "slot_sync",       "slot_ibuf_empty", "slot_idle",
+};
 
 SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
                const CabaConfig &caba_cfg, const ExtrasConfig &extras,
@@ -54,6 +61,13 @@ SmCore::SmCore(int id, const SmConfig &cfg, const DesignConfig &design,
         CABA_CHECK(model_, "compressed design needs a compression model");
         CABA_CHECK(aws_, "CABA design needs an assist warp store");
     }
+    if (extras_.profile) {
+        CABA_CHECK(aws_, "profiling assist warps need an assist warp store");
+        CABA_CHECK(extras_.profile_interval >= 1,
+                   "profile interval must be at least one cycle");
+    }
+    slot_trace_class_.assign(static_cast<std::size_t>(cfg_.schedulers), -1);
+    slot_trace_start_.assign(static_cast<std::size_t>(cfg_.schedulers), 0);
 }
 
 void
@@ -62,6 +76,7 @@ SmCore::launch(const KernelInfo *kernel, int num_warps, int warp_global_base,
 {
     sched_.launch(kernel, num_warps, warp_global_base, warp_global_stride);
     kernel_ = kernel;
+    profile_countdown_ = extras_.profile ? extras_.profile_interval : 0;
     trace::instant(trace::kWarp, trace::kPidSm, id_, "launch", 0, "warps",
                    static_cast<std::uint64_t>(num_warps));
 }
@@ -118,6 +133,7 @@ SmCore::cycle(Cycle now)
     saw_data_block_ = false;
     issued_any_ = false;
 
+    tickProfileTrigger(now);
     processEvents(now);
     reapAssistWarps(now);
     retryPendingFills(now);
@@ -326,6 +342,13 @@ SmCore::reapAssistWarps(Cycle now)
             else
                 ++n_.prefetches_dropped;
             break;
+          case AssistPurpose::Profile:
+            // Profiling assist warp (framework-paper generalization):
+            // on completion it samples the resident warps' stall
+            // vectors into distributions.
+            ++n_.profile_samples;
+            sampleStallVector();
+            break;
         }
     }
 }
@@ -408,6 +431,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
       case Opcode::Mov: {
         if (alu_inflight_ >= cfg_.alu_inflight_max) {
             saw_compute_block_ = true;
+            slot_comp_block_ = true;
             return false;
         }
         ++alu_inflight_;
@@ -425,6 +449,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
       case Opcode::Sfu: {
         if (sfu_inflight_ >= cfg_.sfu_inflight_max || sfu_port_used_) {
             saw_compute_block_ = true;
+            slot_comp_block_ = true;
             return false;
         }
         sfu_port_used_ = true;
@@ -467,6 +492,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
       case Opcode::StShared: {
         if (mem_port_used_) {
             saw_mem_block_ = true;
+            slot_mem_block_ = true;
             return false;
         }
         mem_port_used_ = true;
@@ -475,6 +501,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
             ev.warp = warp;
             ev.regmask = std::uint64_t{1} << inst.dst;
             w.pending_regs |= ev.regmask;
+            w.pending_mem_regs |= ev.regmask;
             scheduleEvent(now + cfg_.shmem_latency, ev, now);
         }
         ++n_.issued_shmem;
@@ -486,6 +513,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
         if (mem_port_used_ || ldst_.busy() ||
             (!is_store && !ldst_.hasFreeLoadSlot())) {
             saw_mem_block_ = true;
+            slot_mem_block_ = true;
             return false;
         }
         mem_port_used_ = true;
@@ -500,6 +528,7 @@ SmCore::tryIssueRegular(int warp, Cycle now)
                 ldst_.cancel();
             } else {
                 w.pending_regs |= mask;
+                w.pending_mem_regs |= mask;
                 ldst_.armLoad(warp, mask);
                 maybePrefetch(access.lines.front(), inst.stream, now);
             }
@@ -535,13 +564,17 @@ SmCore::tryIssueAssist(AssistWarp &aw, Cycle now)
 {
     const AssistInstr &ai = (*aw.code)[static_cast<std::size_t>(aw.next)];
     if (ai.is_mem) {
-        if (mem_port_used_)
+        if (mem_port_used_) {
+            slot_mem_block_ = true;
             return false;
+        }
         mem_port_used_ = true;
         ++n_.assist_mem_issued;
     } else {
-        if (alu_inflight_ >= cfg_.alu_inflight_max)
+        if (alu_inflight_ >= cfg_.alu_inflight_max) {
+            slot_comp_block_ = true;
             return false;
+        }
         ++alu_inflight_;
         Event ev;
         ev.pipe = 1;
@@ -551,6 +584,7 @@ SmCore::tryIssueAssist(AssistWarp &aw, Cycle now)
     aw.ready_at = now + ai.latency;
     ++aw.next;
     ++n_.assist_instructions;
+    ++aw_slots_[static_cast<std::size_t>(aw.purpose)];
     return true;
 }
 
@@ -559,8 +593,15 @@ SmCore::issueStage(Cycle now)
 {
     if (!kernel_)
         return;
+    // Slot-accounting gate, snapshotted before any issue can retire a
+    // warp: the cycle a warp issues its Exit still charges its slots
+    // (skipIdle sees the same condition on frozen post-cycle state).
+    const bool acct = sched_.liveWarps() > 0 || !awc_.table().empty();
     for (int s = 0; s < cfg_.schedulers; ++s) {
         bool issued = false;
+        bool aw_issued = false;
+        slot_mem_block_ = false;
+        slot_comp_block_ = false;
 
         // 1. High-priority assist warps take precedence (Section 3.2.3).
         auto &table = awc_.table();
@@ -574,6 +615,7 @@ SmCore::issueStage(Cycle now)
             }
             if (tryIssueAssist(aw, now)) {
                 issued = true;
+                aw_issued = true;
                 assist_rr_ = (assist_rr_ + k + 1) % std::max(tsize, 1);
             }
         }
@@ -596,12 +638,90 @@ SmCore::issueStage(Cycle now)
             }
             if (tryIssueAssist(aw, now)) {
                 issued = true;
+                aw_issued = true;
                 ++n_.assist_idle_slot_issues;
             }
         }
 
         awc_.noteIssueSlot(issued);
         issued_any_ = issued_any_ || issued;
+        if (acct) {
+            const int cat = issued
+                ? (aw_issued ? kSlotAwIssued : kSlotIssued)
+                : classifySlotStall(s);
+            recordSlot(s, cat, now);
+        }
+    }
+    if (acct)
+        ++accounted_cycles_;
+}
+
+int
+SmCore::classifySlotStall(int s) const
+{
+    // Priority mirrors classifyCycle: structural hazards seen by this
+    // slot's issue attempts first, then scoreboard state, then idle.
+    if (slot_mem_block_ || ldst_stalled_this_cycle_)
+        return kSlotMemStruct;
+    if (slot_comp_block_)
+        return kSlotCompStruct;
+    return classifySlotQuiescent(s);
+}
+
+int
+SmCore::classifySlotQuiescent(int s) const
+{
+    // Classification from the scheduler bitsets alone — exactly what a
+    // no-attempt slot reduces to, and what skipIdle replays over frozen
+    // state for skipped cycles.
+    const std::uint64_t parity = sched_.parityMask(s);
+    const std::uint64_t blocked = sched_.blockedMask() & parity;
+    if ((blocked & sched_.memBlockedMask()) != 0)
+        return kSlotMemData;
+    if (blocked != 0)
+        return kSlotScoreboard;
+    if ((sched_.liveMask() & parity) != 0)
+        return kSlotIbufEmpty;
+    return kSlotIdle;
+}
+
+void
+SmCore::recordSlot(int s, int cat, Cycle now)
+{
+    ++slot_counts_[static_cast<std::size_t>(cat)];
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (!trace::on(trace::kSlots)) {
+        slot_trace_class_[si] = -1;
+        return;
+    }
+    if (cat != slot_trace_class_[si]) {
+        if (slot_trace_class_[si] >= 0) {
+            trace::complete(trace::kSlots, trace::kPidSlots,
+                            id_ * cfg_.schedulers + s,
+                            kSlotCategoryNames[slot_trace_class_[si]],
+                            slot_trace_start_[si],
+                            now - slot_trace_start_[si]);
+        }
+        slot_trace_class_[si] = cat;
+        slot_trace_start_[si] = now;
+    }
+}
+
+void
+SmCore::closeSlotSpans(Cycle now)
+{
+    if (!trace::on(trace::kSlots))
+        return;
+    for (int s = 0; s < cfg_.schedulers; ++s) {
+        const std::size_t si = static_cast<std::size_t>(s);
+        if (slot_trace_class_[si] >= 0) {
+            trace::complete(trace::kSlots, trace::kPidSlots,
+                            id_ * cfg_.schedulers + s,
+                            kSlotCategoryNames[slot_trace_class_[si]],
+                            slot_trace_start_[si],
+                            now - slot_trace_start_[si]);
+            slot_trace_class_[si] = -1;
+        }
     }
 }
 
@@ -617,6 +737,7 @@ SmCore::classifyCycle(Cycle now)
                             trace_class_start_, now - trace_class_start_);
             trace_class_ = -1;
         }
+        closeSlotSpans(now);
         return;
     }
     int cls;
@@ -651,6 +772,53 @@ SmCore::classifyCycle(Cycle now)
         trace_class_ = cls;
         trace_class_start_ = now;
     }
+}
+
+// ------------------------------------------------- profiling assist warp
+
+void
+SmCore::tickProfileTrigger(Cycle now)
+{
+    if (!kernel_ || !extras_.profile || sched_.liveWarps() == 0)
+        return;
+    if (--profile_countdown_ > 0)
+        return;
+    spawnProfileWarp(now);
+    profile_countdown_ = extras_.profile_interval;
+}
+
+void
+SmCore::spawnProfileWarp(Cycle now)
+{
+    if (!awc_.hasRoom()) {
+        ++n_.profile_drops;
+        return;
+    }
+    AssistWarp aw;
+    aw.parent_warp = kInvalidWarp;
+    aw.priority = AssistPriority::Low;
+    aw.purpose = AssistPurpose::Profile;
+    aw.code = &aws_->profileRoutine();
+    aw.line = 0;
+    aw.token = 0;
+    aw.spawned = now;
+    const bool ok = awc_.trigger(std::move(aw));
+    CABA_CHECK(ok, "AWT trigger failed despite hasRoom");
+    ++n_.profile_warps;
+    trace::instant(trace::kAssistWarp, trace::kPidAssist, id_,
+                   "spawn_profile", now);
+}
+
+void
+SmCore::sampleStallVector()
+{
+    const std::uint64_t blocked = sched_.blockedMask();
+    profile_ready_dist_.record(
+        static_cast<std::uint64_t>(std::popcount(sched_.issuableMask())));
+    profile_blocked_dist_.record(
+        static_cast<std::uint64_t>(std::popcount(blocked)));
+    profile_mem_blocked_dist_.record(static_cast<std::uint64_t>(
+        std::popcount(blocked & sched_.memBlockedMask())));
 }
 
 // ------------------------------------------------------------ quiescence
@@ -694,6 +862,11 @@ SmCore::nextWork(Cycle now) const
             }
         }
     }
+    if (kernel_ && extras_.profile && sched_.liveWarps() > 0) {
+        // The countdown reaches zero (and spawns) on its
+        // profile_countdown_'th tick counting this one.
+        e = std::min(e, now + static_cast<Cycle>(profile_countdown_) - 1);
+    }
     return e;
 }
 
@@ -705,6 +878,14 @@ SmCore::skipIdle(Cycle from, Cycle to)
     // kernel is bound, even after all warps retire.
     if (kernel_)
         awc_.skipIdleSlots(k * static_cast<std::uint64_t>(cfg_.schedulers));
+    // The profile countdown ages on every cycle with live warps; the
+    // spawn cycle itself is always ticked (nextWork pins it), so at
+    // least one tick must remain after the skip.
+    if (kernel_ && extras_.profile && sched_.liveWarps() > 0) {
+        profile_countdown_ -= static_cast<int>(k);
+        CABA_CHECK(profile_countdown_ >= 1,
+                   "quiescence skip jumped over a profile-AW spawn");
+    }
     if (sched_.liveWarps() == 0 && awc_.table().empty())
         return;     // retired SM: classifyCycle counts nothing.
     // During a quiescent stretch every live warp holds a scoreboard-
@@ -716,6 +897,29 @@ SmCore::skipIdle(Cycle from, Cycle to)
         breakdown_.data_stall += k;
     else
         breakdown_.idle += k;
+    // Exact slot taxonomy over the skipped cycles: no issue attempts
+    // happen while quiescent (issuable is empty, the LDST unit is
+    // drained, no assist warp is ready), so every slot classifies from
+    // the frozen scheduler bitsets — identical for each skipped cycle.
+    accounted_cycles_ += k;
+    for (int s = 0; s < cfg_.schedulers; ++s) {
+        const int cat = classifySlotQuiescent(s);
+        slot_counts_[static_cast<std::size_t>(cat)] += k;
+        const std::size_t si = static_cast<std::size_t>(s);
+        if (!trace::on(trace::kSlots)) {
+            slot_trace_class_[si] = -1;
+        } else if (cat != slot_trace_class_[si]) {
+            if (slot_trace_class_[si] >= 0) {
+                trace::complete(trace::kSlots, trace::kPidSlots,
+                                id_ * cfg_.schedulers + s,
+                                kSlotCategoryNames[slot_trace_class_[si]],
+                                slot_trace_start_[si],
+                                from - slot_trace_start_[si]);
+            }
+            slot_trace_class_[si] = cat;
+            slot_trace_start_[si] = from;
+        }
+    }
     if (!trace::on(trace::kWarp)) {
         trace_class_ = -1;
         return;
@@ -768,7 +972,24 @@ SmCore::stats() const
     s.setCounter("prefetch_warps", n_.prefetch_warps);
     s.setCounter("prefetches_issued", n_.prefetches_issued);
     s.setCounter("prefetches_dropped", n_.prefetches_dropped);
+    // Exact slot taxonomy (DESIGN.md section 11): fig01 reads these.
+    for (int c = 0; c < kNumSlotCategories; ++c)
+        s.setCounter(kSlotCategoryNames[c],
+                     slot_counts_[static_cast<std::size_t>(c)]);
+    s.setCounter("slot_cycles_accounted", accounted_cycles_);
+    s.setCounter("aw_slots_decompress_fill", aw_slots_[0]);
+    s.setCounter("aw_slots_decompress_hit", aw_slots_[1]);
+    s.setCounter("aw_slots_compress", aw_slots_[2]);
+    s.setCounter("aw_slots_memoize", aw_slots_[3]);
+    s.setCounter("aw_slots_prefetch", aw_slots_[4]);
+    s.setCounter("aw_slots_profile", aw_slots_[5]);
+    s.setCounter("profile_warps", n_.profile_warps);
+    s.setCounter("profile_samples", n_.profile_samples);
+    s.setCounter("profile_drops", n_.profile_drops);
     s.dist("fill_latency").merge(fill_latency_dist_);
+    s.dist("aw_profile_ready_warps").merge(profile_ready_dist_);
+    s.dist("aw_profile_blocked_warps").merge(profile_blocked_dist_);
+    s.dist("aw_profile_mem_blocked_warps").merge(profile_mem_blocked_dist_);
     return s;
 }
 
@@ -777,6 +998,22 @@ SmCore::audit(Audit &a, bool at_drain) const
 {
     ldst_.audit(a, at_drain);
     awc_.audit(a);
+    // Taxonomy exactness (holds at every audit, not only at drain):
+    // every accounted cycle charges each scheduler slot exactly once.
+    std::uint64_t slot_sum = 0;
+    for (const std::uint64_t c : slot_counts_)
+        slot_sum += c;
+    a.checkEq("sm", "slot categories sum to cycles x issue slots",
+              slot_sum,
+              accounted_cycles_ *
+                  static_cast<std::uint64_t>(cfg_.schedulers));
+    a.checkEq("sm", "sync slots stay zero (ISA has no barriers)",
+              slot_counts_[kSlotSync], 0);
+    std::uint64_t aw_slot_sum = 0;
+    for (const std::uint64_t c : aw_slots_)
+        aw_slot_sum += c;
+    a.checkEq("sm", "per-purpose AW slots sum to AW-issued slots",
+              aw_slot_sum, slot_counts_[kSlotAwIssued]);
     if (!at_drain)
         return;
     // Every reply delivered is either a demand miss that sent a request

@@ -21,6 +21,8 @@
 #ifndef CABA_SIM_SM_CORE_H
 #define CABA_SIM_SM_CORE_H
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -76,7 +78,34 @@ struct ExtrasConfig
 
     bool prefetch = false;
     int prefetch_lookahead = 4;     ///< Lines ahead of the demand stream.
+
+    bool profile = false;           ///< Profiling assist warps (framework
+                                    ///< paper generalization).
+    int profile_interval = 512;     ///< Cycles between profile-AW spawns.
 };
+
+/**
+ * Exact per-issue-slot taxonomy (DESIGN.md section 11): every scheduler
+ * slot of every accounted cycle is charged to exactly one category.
+ * Audit cross-checks sum(categories) == accounted cycles x schedulers.
+ */
+enum SlotCategory : int {
+    kSlotIssued = 0,    ///< A regular warp instruction issued.
+    kSlotAwIssued,      ///< An assist-warp instruction issued.
+    kSlotMemStruct,     ///< Memory structural: LDST drain stalled, mem
+                        ///< port taken, or no load slot for a ready op.
+    kSlotCompStruct,    ///< Compute structural: ALU/SFU caps or SFU port.
+    kSlotMemData,       ///< Scoreboard wait on an outstanding load.
+    kSlotScoreboard,    ///< Scoreboard wait on a non-memory producer.
+    kSlotSync,          ///< Barrier wait (reserved: this ISA has no
+                        ///< barrier ops; audited to stay zero).
+    kSlotIbufEmpty,     ///< Live warps, but none buffered this parity.
+    kSlotIdle,          ///< No live warp on this scheduler's parity.
+    kNumSlotCategories,
+};
+
+/** Stable stat/trace names, indexed by SlotCategory. */
+extern const char *const kSlotCategoryNames[kNumSlotCategories];
 
 /** Figure 1 issue-cycle breakdown. */
 struct CycleBreakdown
@@ -164,6 +193,19 @@ class SmCore : public Clocked,
     int id() const { return id_; }
     const CycleBreakdown &breakdown() const { return breakdown_; }
 
+    /** Warps passing the scoreboard right now (counter trace track). */
+    int issuableWarps() const
+    {
+        return std::popcount(sched_.issuableMask());
+    }
+
+    /** Exact slot-taxonomy counters (tests; stats() exports them). */
+    std::uint64_t slotCount(SlotCategory c) const
+    {
+        return slot_counts_[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t accountedCycles() const { return accounted_cycles_; }
+
     /** Snapshot of every per-SM counter. */
     StatSet stats() const;
 
@@ -232,6 +274,17 @@ class SmCore : public Clocked,
     void issueStage(Cycle now);
     void classifyCycle(Cycle now);
 
+    // slot taxonomy
+    int classifySlotStall(int s) const;
+    int classifySlotQuiescent(int s) const;
+    void recordSlot(int s, int cat, Cycle now);
+    void closeSlotSpans(Cycle now);
+
+    // profiling assist warp
+    void tickProfileTrigger(Cycle now);
+    void spawnProfileWarp(Cycle now);
+    void sampleStallVector();
+
     // helpers
     bool tryIssueRegular(int warp, Cycle now);
     bool tryIssueAssist(AssistWarp &aw, Cycle now);
@@ -280,15 +333,43 @@ class SmCore : public Clocked,
     bool saw_data_block_ = false;
     bool issued_any_ = false;
 
+    // per-slot classification hints (reset at the top of every
+    // scheduler slot in issueStage; unlike the saw_* flags above they
+    // do not accumulate across the cycle)
+    bool slot_mem_block_ = false;
+    bool slot_comp_block_ = false;
+
     int assist_rr_ = 0;
 
     CycleBreakdown breakdown_;
     std::uint64_t instr_issued_ = 0;
 
+    // exact slot taxonomy (DESIGN.md section 11)
+    std::array<std::uint64_t, kNumSlotCategories> slot_counts_{};
+    /** Cycles with accounting open: a live warp or resident AW existed
+     *  at the top of the issue stage. Audit identity:
+     *  sum(slot_counts_) == accounted_cycles_ * schedulers. */
+    std::uint64_t accounted_cycles_ = 0;
+    /** AW-issued slots split by AssistPurpose (sums to the AW-issued
+     *  category; second audit identity). */
+    static constexpr int kNumAwPurposes = 6;
+    std::array<std::uint64_t, kNumAwPurposes> aw_slots_{};
+
+    // profiling assist warp (extras_.profile)
+    int profile_countdown_ = 0;
+    Distribution profile_ready_dist_;
+    Distribution profile_blocked_dist_;
+    Distribution profile_mem_blocked_dist_;
+
     /** Span tracking for the warp-category trace: current issue class
      *  (index into the Figure 1 breakdown, -1 none) and its start. */
     int trace_class_ = -1;
     Cycle trace_class_start_ = 0;
+
+    /** Per-scheduler slot-taxonomy trace spans (kSlots category):
+     *  current category (-1 none) and span start. */
+    std::vector<int> slot_trace_class_;
+    std::vector<Cycle> slot_trace_start_;
 
     Distribution fill_latency_dist_;
 
@@ -324,6 +405,9 @@ class SmCore : public Clocked,
         std::uint64_t prefetch_warps = 0;
         std::uint64_t prefetches_issued = 0;
         std::uint64_t prefetches_dropped = 0;
+        std::uint64_t profile_warps = 0;
+        std::uint64_t profile_samples = 0;
+        std::uint64_t profile_drops = 0;
     };
     Counters n_;
     std::uint64_t stats_add_store_kill_ = 0;

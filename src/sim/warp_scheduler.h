@@ -74,6 +74,10 @@ class WarpScheduler
         int trips_left = 0;
         int global_id = 0;
         std::uint64_t pending_regs = 0;
+        /** Subset of pending_regs whose producer is an outstanding
+         *  load (LdGlobal/LdShared). Distinguishes memory-data stalls
+         *  from plain scoreboard stalls in the slot taxonomy. */
+        std::uint64_t pending_mem_regs = 0;
         IBuf ibuf;
     };
 
@@ -107,13 +111,17 @@ class WarpScheduler
         return warps_[static_cast<std::size_t>(w)];
     }
 
-    /** Writeback: clears @p mask from the warp's pending registers. */
+    /** Writeback: clears @p mask from the warp's pending registers.
+     *  A pending register has exactly one producer in flight, so the
+     *  memory subset can be cleared with the same mask. */
     void
     clearPending(int w, std::uint64_t mask)
     {
         if (w == kInvalidWarp)
             return;
-        warps_[static_cast<std::size_t>(w)].pending_regs &= ~mask;
+        WarpState &ws = warps_[static_cast<std::size_t>(w)];
+        ws.pending_regs &= ~mask;
+        ws.pending_mem_regs &= ~mask;
         refreshWarp(w);
     }
 
@@ -128,6 +136,10 @@ class WarpScheduler
         const bool ready = buffered && frontReady(ws);
         setBit(&issuable_, bit, ready);
         setBit(&blocked_, bit, buffered && !ready);
+        setBit(&mem_blocked_, bit,
+               buffered && !ready &&
+                   (frontNeed(ws) & ws.pending_mem_regs) != 0);
+        setBit(&live_, bit, alive);
         setBit(&decodable_, bit,
                alive && !ws.decode_done &&
                    static_cast<int>(ws.ibuf.size()) < ibuffer_entries_);
@@ -196,12 +208,26 @@ class WarpScheduler
     /** True when any warp passes the scoreboard this cycle. */
     bool anyReady() const;
 
+    // -- selection-bitset views (for SmCore's slot taxonomy and the
+    //    profiling assist warp's stall-vector samples) --
+
+    std::uint64_t issuableMask() const { return issuable_; }
+    std::uint64_t blockedMask() const { return blocked_; }
+    std::uint64_t memBlockedMask() const { return mem_blocked_; }
+    std::uint64_t liveMask() const { return live_; }
+
+    std::uint64_t
+    parityMask(int s) const
+    {
+        return parity_mask_[static_cast<std::size_t>(s)];
+    }
+
   private:
     void decodeOneWarp(WarpState &w);
 
-    /** Scoreboard check of @p w's front instruction (ibuf nonempty). */
-    static bool
-    frontReady(const WarpState &w)
+    /** Register mask @p w's front instruction waits on (ibuf nonempty). */
+    static std::uint64_t
+    frontNeed(const WarpState &w)
     {
         const Instruction &inst = *w.ibuf.front().inst;
         std::uint64_t need = 0;
@@ -211,7 +237,14 @@ class WarpScheduler
             need |= std::uint64_t{1} << inst.src0;
         if (inst.src1 >= 0)
             need |= std::uint64_t{1} << inst.src1;
-        return (w.pending_regs & need) == 0;
+        return need;
+    }
+
+    /** Scoreboard check of @p w's front instruction (ibuf nonempty). */
+    static bool
+    frontReady(const WarpState &w)
+    {
+        return (w.pending_regs & frontNeed(w)) == 0;
     }
 
     static void
@@ -238,6 +271,8 @@ class WarpScheduler
     // refreshWarp; max_warps <= 64 is checked at construction).
     std::uint64_t issuable_ = 0;    ///< exists, buffered, scoreboard-clear
     std::uint64_t blocked_ = 0;     ///< exists, buffered, operand-blocked
+    std::uint64_t mem_blocked_ = 0; ///< blocked, waiting on a load result
+    std::uint64_t live_ = 0;        ///< exists and not retired
     std::uint64_t decodable_ = 0;   ///< exists, fetchable, ibuf has room
 
     /** Bit w set iff w % schedulers == s (scheduler s's warps). */

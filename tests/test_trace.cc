@@ -59,6 +59,11 @@ TEST_F(TraceTest, MaskFromNames)
     EXPECT_EQ(trace::maskFromNames("assist, cache"),
               trace::kAssistWarp | trace::kCache);
     EXPECT_EQ(trace::maskFromNames("assist-warp"), trace::kAssistWarp);
+    EXPECT_EQ(trace::maskFromNames("slots"), trace::kSlots);
+    EXPECT_EQ(trace::maskFromNames("counter"), trace::kCounter);
+    EXPECT_EQ(trace::maskFromNames("counters"), trace::kCounter);
+    EXPECT_EQ(trace::maskFromNames("slots,counter"),
+              trace::kSlots | trace::kCounter);
     EXPECT_EQ(trace::maskFromNames("all"), trace::kAll);
     EXPECT_EQ(trace::maskFromNames("xbar,bogus"), trace::kXbar);
     EXPECT_EQ(trace::maskFromNames(""), 0u);
@@ -142,6 +147,61 @@ TEST_F(TraceTest, TracedRunProducesAllCategories)
     EXPECT_TRUE(cats.count("assist")) << "assist-warp events missing";
     EXPECT_TRUE(cats.count("cache")) << "cache events missing";
     EXPECT_TRUE(cats.count("dram")) << "dram burst events missing";
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, SlotSpansCoverTheTaxonomy)
+{
+    const std::string path = testing::TempDir() + "caba_slots_trace.json";
+    trace::start(path, trace::kSlots);
+    runApp(findApp("PVC"), DesignConfig::caba(), smallOpts());
+    trace::stop();
+
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(readFile(path), &doc));
+    std::set<std::string> names;
+    std::size_t spans = 0;
+    for (const minijson::Value &ev : doc.find("traceEvents")->array) {
+        if (ev.find("ph")->string != "X")
+            continue;
+        EXPECT_EQ(ev.find("cat")->string, "slots");
+        EXPECT_EQ(ev.find("pid")->number,
+                  static_cast<double>(trace::kPidSlots));
+        names.insert(ev.find("name")->string);
+        ++spans;
+    }
+    EXPECT_GT(spans, 0u) << "no slot-category spans recorded";
+    // Span names are the taxonomy's stable category names.
+    for (const std::string &n : names)
+        EXPECT_EQ(n.rfind("slot_", 0), 0u) << n;
+    EXPECT_TRUE(names.count("slot_issued"));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CounterTracksEmitOnTimelineCadence)
+{
+    const std::string path = testing::TempDir() + "caba_counter_trace.json";
+    trace::start(path, trace::kCounter);
+    runApp(findApp("PVC"), DesignConfig::caba(), smallOpts());
+    trace::stop();
+
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(readFile(path), &doc));
+    std::set<std::string> names;
+    for (const minijson::Value &ev : doc.find("traceEvents")->array) {
+        if (ev.find("ph")->string != "C")
+            continue;
+        EXPECT_EQ(ev.find("cat")->string, "counter");
+        EXPECT_EQ(ev.find("pid")->number,
+                  static_cast<double>(trace::kPidCounter));
+        const minijson::Value *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        ASSERT_NE(args->find("value"), nullptr);
+        names.insert(ev.find("name")->string);
+    }
+    EXPECT_TRUE(names.count("event_queue_depth"));
+    EXPECT_TRUE(names.count("issuable_warps"));
+    EXPECT_TRUE(names.count("dram_read_queue"));
     std::remove(path.c_str());
 }
 

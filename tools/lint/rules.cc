@@ -31,8 +31,10 @@ inSrc(const std::string &path)
 }
 
 /** Files allowed to touch wall clocks / entropy: the seeded RNG itself,
- *  the stderr-only self-profiler, and the trace sink (whose timestamps
- *  are simulated cycles; the whitelist covers its atexit machinery). */
+ *  the stderr-only self-profiler, the in-loop profiler (host-time
+ *  attribution that never reads simulation state), and the trace sink
+ *  (whose timestamps are simulated cycles; the whitelist covers its
+ *  atexit machinery). */
 bool
 determinismWhitelisted(const std::string &path)
 {
@@ -40,6 +42,7 @@ determinismWhitelisted(const std::string &path)
         "src/common/rng.h",
         "src/common/self_profile.h",
         "src/common/self_profile.cc",
+        "src/common/prof.cc",
         "src/common/trace.cc",
     };
     return allow.count(path) != 0;
@@ -283,7 +286,7 @@ ruleDeterminism(const LexedFile &f, const std::string &path,
             add(out, "determinism", path, t[i].line,
                 "std::chrono::" + t[i].text +
                     "::now() — wall-clock reads are banned outside "
-                    "common/self_profile.*");
+                    "common/self_profile.* and common/prof.cc");
             continue;
         }
         if (isSortFn(t[i].text) && calls && !member) {
