@@ -9,44 +9,41 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(ablation_memoization)
 {
-    BenchJson json("ablation_memoization",
-                   jsonOutPath("ablation_memoization", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("CABA memoization (Section 7.1) on SFU-heavy apps\n\n");
+    exp.description =
+        "Section 7.1: memoization assist warps on SFU-heavy apps";
+    exp.body = [](const ExperimentOptions &opts, BenchJson &json) {
+        printSystemConfig(opts);
+        std::printf("CABA memoization (Section 7.1) on SFU-heavy apps\n\n");
 
-    Table t({"app", "memo hit rate", "speedup", "SFU issues saved",
-             "assist warps"});
-    for (const char *name : {"dmr", "NN", "mc", "bh"}) {
-        const AppDescriptor &app = findApp(name);
-        const RunResult base =
-            runApp(app, DesignConfig::base(), opts);
+        Table t({"app", "memo hit rate", "speedup", "SFU issues saved",
+                 "assist warps"});
+        for (const char *name : {"dmr", "NN", "mc", "bh"}) {
+            const AppDescriptor &app = findApp(name);
+            const RunResult base =
+                runApp(app, DesignConfig::base(), opts);
 
-        ExperimentOptions o = opts;
-        o.extras.memoize = true;
-        o.extras.memo_hit_rate = app.memo_hit_rate;
-        const RunResult memo = runApp(app, DesignConfig::base(), o);
-        json.addCell(app.name, "Base", base);
-        json.addCell(app.name, "Base+memoize", memo);
+            ExperimentOptions o = opts;
+            o.extras.memoize = true;
+            o.extras.memo_hit_rate = app.memo_hit_rate;
+            const RunResult memo = runApp(app, DesignConfig::base(), o);
+            json.addCell(app.name, "Base", base);
+            json.addCell(app.name, "Base+memoize", memo);
 
-        t.addRow({app.name, Table::pct(app.memo_hit_rate),
-                  Table::num(static_cast<double>(base.cycles) /
-                             static_cast<double>(memo.cycles)),
-                  std::to_string(memo.stats.get("sm_memo_hits")),
-                  std::to_string(memo.stats.get("sm_memoize_warps"))});
-    }
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Compute-bound apps trade SFU pressure for on-chip "
-                "storage (the paper's\n\"convert computation into "
-                "storage\" argument).\n");
-    json.write();
-    return 0;
+            t.addRow({app.name, Table::pct(app.memo_hit_rate),
+                      Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(memo.cycles)),
+                      std::to_string(memo.stats.get("sm_memo_hits")),
+                      std::to_string(memo.stats.get("sm_memoize_warps"))});
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Compute-bound apps trade SFU pressure for on-chip "
+                    "storage (the paper's\n\"convert computation into "
+                    "storage\" argument).\n");
+    };
 }

@@ -9,49 +9,48 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(ablation_prefetch)
 {
-    BenchJson json("ablation_prefetch",
-                   jsonOutPath("ablation_prefetch", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("CABA stride prefetching (Section 7.2)\n\n");
+    exp.description =
+        "Section 7.2: low-priority stride-prefetch assist warps";
+    exp.body = [](const ExperimentOptions &opts, BenchJson &json) {
+        printSystemConfig(opts);
+        std::printf("CABA stride prefetching (Section 7.2)\n\n");
 
-    Table t({"app", "bound", "speedup", "prefetches", "dropped",
-             "L1 hit rate delta"});
-    for (const char *name : {"hs", "bp", "lc", "CONS", "LPS", "PVC"}) {
-        const AppDescriptor &app = findApp(name);
-        const RunResult base = runApp(app, DesignConfig::base(), opts);
+        Table t({"app", "bound", "speedup", "prefetches", "dropped",
+                 "L1 hit rate delta"});
+        for (const char *name : {"hs", "bp", "lc", "CONS", "LPS", "PVC"}) {
+            const AppDescriptor &app = findApp(name);
+            const RunResult base = runApp(app, DesignConfig::base(), opts);
 
-        ExperimentOptions o = opts;
-        o.extras.prefetch = true;
-        o.extras.prefetch_lookahead = 4;
-        const RunResult pf = runApp(app, DesignConfig::base(), o);
-        json.addCell(app.name, "Base", base);
-        json.addCell(app.name, "Base+prefetch", pf);
+            ExperimentOptions o = opts;
+            o.extras.prefetch = true;
+            o.extras.prefetch_lookahead = 4;
+            const RunResult pf = runApp(app, DesignConfig::base(), o);
+            json.addCell(app.name, "Base", base);
+            json.addCell(app.name, "Base+prefetch", pf);
 
-        auto l1_rate = [](const RunResult &r) {
-            const double h = static_cast<double>(r.stats.get("l1_hits"));
-            const double m = static_cast<double>(r.stats.get("l1_misses"));
-            return h + m > 0 ? h / (h + m) : 0.0;
-        };
-        t.addRow({app.name, app.memory_bound ? "Mem" : "Comp",
-                  Table::num(static_cast<double>(base.cycles) /
-                             static_cast<double>(pf.cycles)),
-                  std::to_string(pf.stats.get("sm_prefetches_issued")),
-                  std::to_string(pf.stats.get("sm_prefetches_dropped")),
-                  Table::pct(l1_rate(pf) - l1_rate(base))});
-    }
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Prefetch warps use idle slots only (Section 7.2 point "
-                "3), so bandwidth-saturated\napps are protected by the "
-                "utilization throttle.\n");
-    json.write();
-    return 0;
+            auto l1_rate = [](const RunResult &r) {
+                const double h =
+                    static_cast<double>(r.stats.get("l1_hits"));
+                const double m =
+                    static_cast<double>(r.stats.get("l1_misses"));
+                return h + m > 0 ? h / (h + m) : 0.0;
+            };
+            t.addRow({app.name, app.memory_bound ? "Mem" : "Comp",
+                      Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(pf.cycles)),
+                      std::to_string(pf.stats.get("sm_prefetches_issued")),
+                      std::to_string(pf.stats.get("sm_prefetches_dropped")),
+                      Table::pct(l1_rate(pf) - l1_rate(base))});
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Prefetch warps use idle slots only (Section 7.2 point "
+                    "3), so bandwidth-saturated\napps are protected by the "
+                    "utilization throttle.\n");
+    };
 }

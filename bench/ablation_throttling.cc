@@ -15,69 +15,68 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(ablation_throttling)
 {
-    BenchJson json("ablation_throttling",
-                   jsonOutPath("ablation_throttling", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("CABA design-choice ablations (cycles normalized to the "
-                "paper's configuration; <1.00 = faster)\n\n");
+    exp.description =
+        "Sections 3.4/4.2: priority, AWB, throttle and store-buffer "
+        "ablations";
+    exp.body = [](const ExperimentOptions &opts, BenchJson &json) {
+        printSystemConfig(opts);
+        std::printf("CABA design-choice ablations (cycles normalized to "
+                    "the paper's configuration; <1.00 = faster)\n\n");
 
-    const AppDescriptor apps[] = {findApp("PVC"), findApp("MM"),
-                                  findApp("LPS"), findApp("sssp"),
-                                  findApp("CONS")};
+        const AppDescriptor apps[] = {findApp("PVC"), findApp("MM"),
+                                      findApp("LPS"), findApp("sssp"),
+                                      findApp("CONS")};
 
-    Table t({"app", "paper-config", "dec low-prio", "comp high-prio",
-             "awb=1", "awb=4", "no-throttle", "store-buf=4"});
-    for (const AppDescriptor &app : apps) {
-        // Each variant becomes one JSON cell named after the knob it
-        // flips; the table shows cycles relative to the paper config.
-        auto run = [&](const char *variant, const ExperimentOptions &o) {
-            const RunResult r = runApp(app, DesignConfig::caba(), o);
-            json.addCell(app.name, variant, r);
-            return static_cast<double>(r.cycles);
-        };
-        const double base = run("paper-config", opts);
-        std::vector<std::string> row = {app.name, "1.00"};
+        Table t({"app", "paper-config", "dec low-prio", "comp high-prio",
+                 "awb=1", "awb=4", "no-throttle", "store-buf=4"});
+        for (const AppDescriptor &app : apps) {
+            // Each variant becomes one JSON cell named after the knob it
+            // flips; the table shows cycles relative to the paper config.
+            auto run = [&](const char *variant,
+                           const ExperimentOptions &o) {
+                const RunResult r = runApp(app, DesignConfig::caba(), o);
+                json.addCell(app.name, variant, r);
+                return static_cast<double>(r.cycles);
+            };
+            const double base = run("paper-config", opts);
+            std::vector<std::string> row = {app.name, "1.00"};
 
-        ExperimentOptions o = opts;
-        o.caba.decompress_high_priority = false;
-        row.push_back(Table::num(run("dec-low-prio", o) / base));
+            ExperimentOptions o = opts;
+            o.caba.decompress_high_priority = false;
+            row.push_back(Table::num(run("dec-low-prio", o) / base));
 
-        o = opts;
-        o.caba.compress_low_priority = false;
-        row.push_back(Table::num(run("comp-high-prio", o) / base));
+            o = opts;
+            o.caba.compress_low_priority = false;
+            row.push_back(Table::num(run("comp-high-prio", o) / base));
 
-        o = opts;
-        o.caba.awb_low_slots = 1;
-        row.push_back(Table::num(run("awb-1", o) / base));
+            o = opts;
+            o.caba.awb_low_slots = 1;
+            row.push_back(Table::num(run("awb-1", o) / base));
 
-        o = opts;
-        o.caba.awb_low_slots = 4;
-        row.push_back(Table::num(run("awb-4", o) / base));
+            o = opts;
+            o.caba.awb_low_slots = 4;
+            row.push_back(Table::num(run("awb-4", o) / base));
 
-        o = opts;
-        o.caba.throttle = false;
-        row.push_back(Table::num(run("no-throttle", o) / base));
+            o = opts;
+            o.caba.throttle = false;
+            row.push_back(Table::num(run("no-throttle", o) / base));
 
-        o = opts;
-        o.caba.store_buffer = 4;
-        row.push_back(Table::num(run("store-buf-4", o) / base));
+            o = opts;
+            o.caba.store_buffer = 4;
+            row.push_back(Table::num(run("store-buf-4", o) / base));
 
-        t.addRow(row);
-    }
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Expected shape: the paper's priority assignment wins; "
-                "fewer AWB slots or a\nsmaller store buffer leave more "
-                "stores uncompressed; throttling protects\nparent-warp "
-                "slots when pipelines are busy.\n");
-    json.write();
-    return 0;
+            t.addRow(row);
+        }
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Expected shape: the paper's priority assignment wins; "
+                    "fewer AWB slots or a\nsmaller store buffer leave more "
+                    "stores uncompressed; throttling protects\nparent-warp "
+                    "slots when pipelines are busy.\n");
+    };
 }

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unified bench CLI: runs any subset of the registered experiments (the
+ * former standalone bench binaries) with one flag grammar. Each
+ * experiment still emits its own caba-bench-v1 document, byte-identical
+ * to the standalone binary's output.
+ *
+ * Unlike the old binaries — which silently ignored unrecognized argv
+ * tokens — every unknown flag here is a hard error with usage on
+ * stderr.
+ *
+ * The in-process cell cache is always on: experiments sharing (app,
+ * design, options) cells (Figures 7/8/9 run the same sweep) simulate
+ * each cell once per process. Set CABA_CACHE_DIR to persist cells
+ * across runs.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "harness/cell_cache.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace caba;
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: caba_bench [options] [experiment...]\n"
+        "\n"
+        "Runs registered experiments (former standalone bench binaries).\n"
+        "Experiments are selected by exact name, --filter glob, or "
+        "--all.\n"
+        "\n"
+        "options:\n"
+        "  --list           list experiments (name, description) and "
+        "exit\n"
+        "  --all            run every registered experiment\n"
+        "  --filter GLOB    run experiments whose name matches GLOB "
+        "(* and ?)\n"
+        "  --json[=PATH]    write caba-bench-v1 JSON; the default PATH "
+        "is\n"
+        "                   bench_results/<experiment>.json, an explicit "
+        "PATH\n"
+        "                   requires exactly one selected experiment\n"
+        "  --scale X        workload loop-trip multiplier "
+        "(CABA_SCALE stacks on top)\n"
+        "  --jobs N         sweep worker threads (1 = serial)\n"
+        "  --warps N        cap resident warps per SM\n"
+        "  --help-env       list environment variables and exit\n"
+        "  -h, --help       this help\n");
+}
+
+/** Shell-style match of @p s against @p pat ('*' and '?'). */
+bool
+globMatch(const char *pat, const char *s)
+{
+    const char *star = nullptr;
+    const char *star_s = nullptr;
+    while (*s != '\0') {
+        if (*pat == '?' || *pat == *s) {
+            ++pat;
+            ++s;
+        } else if (*pat == '*') {
+            star = pat++;
+            star_s = s;
+        } else if (star != nullptr) {
+            pat = star + 1;
+            s = ++star_s;
+        } else {
+            return false;
+        }
+    }
+    while (*pat == '*')
+        ++pat;
+    return *pat == '\0';
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "caba_bench: %s\n\n", msg.c_str());
+    usage(stderr);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool list = false;
+    bool run_all = false;
+    bool json_enabled = false;
+    std::string json_explicit;
+    std::vector<std::string> filters;
+    std::vector<std::string> names;
+    ExperimentOptions opts;
+
+    // Flags with a value accept both "--flag value" and "--flag=value".
+    const auto valueOf = [&](const std::string &flag, const char *inline_val,
+                             int &i) -> std::string {
+        if (inline_val != nullptr)
+            return inline_val;
+        if (i + 1 >= argc)
+            usageError("flag " + flag + " needs a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        }
+        if (arg == "--help-env") {
+            env::printHelp(stdout);
+            return 0;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            const std::string flag = arg.substr(0, eq);
+            const char *inline_val =
+                eq == std::string::npos ? nullptr : arg.c_str() + eq + 1;
+            if (flag == "--list" || flag == "--all") {
+                if (inline_val != nullptr)
+                    usageError("flag " + flag + " takes no value");
+                (flag == "--list" ? list : run_all) = true;
+            } else if (flag == "--filter") {
+                filters.push_back(valueOf(flag, inline_val, i));
+            } else if (flag == "--json") {
+                json_enabled = true;
+                // Bare --json keeps per-experiment default paths; an
+                // attached path may also follow as the next token (the
+                // grammar the old binaries' jsonOutPath accepted).
+                if (inline_val != nullptr)
+                    json_explicit = inline_val;
+                else if (i + 1 < argc && argv[i + 1][0] != '-')
+                    json_explicit = argv[++i];
+                if (json_enabled && inline_val != nullptr &&
+                    json_explicit.empty())
+                    usageError("--json= needs a non-empty path");
+            } else if (flag == "--scale") {
+                const std::string v = valueOf(flag, inline_val, i);
+                char *end = nullptr;
+                opts.scale = std::strtod(v.c_str(), &end);
+                if (end == v.c_str() || *end != '\0' || opts.scale <= 0.0)
+                    usageError("--scale needs a positive number, got '" +
+                               v + "'");
+            } else if (flag == "--jobs" || flag == "--warps") {
+                const std::string v = valueOf(flag, inline_val, i);
+                char *end = nullptr;
+                const long n = std::strtol(v.c_str(), &end, 10);
+                if (end == v.c_str() || *end != '\0' || n < 0)
+                    usageError(flag + " needs a non-negative integer, "
+                               "got '" + v + "'");
+                (flag == "--jobs" ? opts.jobs : opts.max_warps) =
+                    static_cast<int>(n);
+            } else {
+                usageError("unknown flag '" + arg + "'");
+            }
+        } else if (arg[0] == '-' && arg.size() > 1) {
+            usageError("unknown flag '" + arg + "'");
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    const ExperimentRegistry &registry = ExperimentRegistry::instance();
+    const std::vector<const Experiment *> everything = registry.all();
+
+    if (list) {
+        for (const Experiment *e : everything)
+            std::printf("%-24s  %s\n", e->name.c_str(),
+                        e->description.c_str());
+        return 0;
+    }
+
+    std::set<std::string> selected;
+    for (const std::string &name : names) {
+        if (registry.find(name) == nullptr)
+            usageError("unknown experiment '" + name +
+                       "' (see --list)");
+        selected.insert(name);
+    }
+    for (const std::string &glob : filters) {
+        bool any = false;
+        for (const Experiment *e : everything) {
+            if (globMatch(glob.c_str(), e->name.c_str())) {
+                selected.insert(e->name);
+                any = true;
+            }
+        }
+        if (!any)
+            usageError("--filter '" + glob +
+                       "' matches no experiment (see --list)");
+    }
+    if (run_all)
+        for (const Experiment *e : everything)
+            selected.insert(e->name);
+    if (selected.empty())
+        usageError("no experiments selected (name one, or use --all, "
+                   "--filter, --list)");
+    if (!json_explicit.empty() && selected.size() > 1)
+        usageError("an explicit --json path needs exactly one selected "
+                   "experiment (" + std::to_string(selected.size()) +
+                   " selected)");
+
+    // Cross-experiment memoization: shared (app, design, options) cells
+    // simulate once per process (plus the CABA_CACHE_DIR disk layer,
+    // resolved inside the cache).
+    CellCache::instance().enableInProcess();
+
+    const bool multiple = selected.size() > 1;
+    for (const std::string &name : selected) {
+        const Experiment *e = registry.find(name);
+        if (multiple)
+            std::printf("=== %s ===\n", name.c_str());
+        std::string path;
+        if (json_enabled)
+            path = json_explicit.empty()
+                       ? "bench_results/" + name + ".json"
+                       : json_explicit;
+        runExperiment(*e, opts, path);
+        if (multiple)
+            std::printf("\n");
+    }
+
+    // One machine-greppable traffic summary (the CI cache-smoke job
+    // asserts simulations=0 on a warm cache).
+    const CellCacheStats st = CellCache::instance().stats();
+    std::fprintf(stderr,
+                 "[cell-cache] simulations=%llu inproc_hits=%llu "
+                 "disk_hits=%llu disk_misses=%llu stores=%llu "
+                 "evictions=%llu self_checks=%llu\n",
+                 static_cast<unsigned long long>(st.simulations),
+                 static_cast<unsigned long long>(st.inproc_hits),
+                 static_cast<unsigned long long>(st.disk_hits),
+                 static_cast<unsigned long long>(st.disk_misses),
+                 static_cast<unsigned long long>(st.stores),
+                 static_cast<unsigned long long>(st.evictions),
+                 static_cast<unsigned long long>(st.self_checks));
+    return 0;
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "compress/registry.h"
+#include "harness/experiment.h"
 #include "workloads/data_profile.h"
 
 namespace {
@@ -102,4 +103,19 @@ BENCHMARK(BM_Decompress)->Apply(CodecArgs);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CABA_REGISTER_EXPERIMENT(codec_microbench)
+{
+    exp.description =
+        "google-benchmark throughput of the BDI/FPC/C-Pack codecs";
+    exp.body = [](const ExperimentOptions &, BenchJson &) {
+        // The benchmarks registered above run under google-benchmark's
+        // own driver; it needs an argv to initialize from. The codec
+        // microbench has no caba-bench-v1 document (it never did as a
+        // standalone binary either).
+        int argc = 1;
+        char arg0[] = "codec_microbench";
+        char *argv[] = {arg0, nullptr};
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    };
+}

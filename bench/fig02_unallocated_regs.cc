@@ -10,50 +10,48 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(fig02_unallocated_regs)
 {
-    BenchJson json("fig02_unallocated_regs",
-                   jsonOutPath("fig02_unallocated_regs", argc, argv));
-    std::printf("Figure 2: statically unallocated register fraction\n"
-                "(128KB RF/SM, 1536 threads, 8 blocks max)\n\n");
+    exp.description =
+        "Figure 2: statically unallocated register fraction per app";
+    exp.body = [](const ExperimentOptions &, BenchJson &json) {
+        std::printf("Figure 2: statically unallocated register fraction\n"
+                    "(128KB RF/SM, 1536 threads, 8 blocks max)\n\n");
 
-    Table t({"app", "regs/thread", "threads/block", "blocks/SM",
-             "warps/SM", "unallocated", "assist fits free?"});
-    std::vector<double> fracs;
-    for (const AppDescriptor &app : allApps()) {
-        Workload wl(app);
-        const OccupancyResult occ = wl.occupancy(0);
-        const OccupancyResult with_assist = wl.occupancy(2);
-        fracs.push_back(occ.unallocated_reg_fraction);
-        json.beginRow();
-        json.field("app", app.name);
-        json.field("regs_per_thread", app.regs_per_thread);
-        json.field("threads_per_block", app.threads_per_block);
-        json.field("blocks_per_sm", occ.blocks_per_sm);
-        json.field("warps_per_sm", occ.warps_per_sm);
-        json.field("unallocated_reg_fraction",
-                   occ.unallocated_reg_fraction);
-        json.field("assist_fits_free",
-                   with_assist.assist_fits_free ? "yes" : "no");
-        json.endRow();
-        t.addRow({app.name, std::to_string(app.regs_per_thread),
-                  std::to_string(app.threads_per_block),
-                  std::to_string(occ.blocks_per_sm),
-                  std::to_string(occ.warps_per_sm),
-                  Table::pct(occ.unallocated_reg_fraction),
-                  with_assist.assist_fits_free ? "yes" : "no"});
-    }
-    t.addRow({"Average", "", "", "", "", Table::pct(mean(fracs)), ""});
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Paper: ~24%% of the register file unallocated on "
-                "average.\nMeasured average: %s\n",
-                Table::pct(mean(fracs)).c_str());
-    json.write();
-    return 0;
+        Table t({"app", "regs/thread", "threads/block", "blocks/SM",
+                 "warps/SM", "unallocated", "assist fits free?"});
+        std::vector<double> fracs;
+        for (const AppDescriptor &app : allApps()) {
+            Workload wl(app);
+            const OccupancyResult occ = wl.occupancy(0);
+            const OccupancyResult with_assist = wl.occupancy(2);
+            fracs.push_back(occ.unallocated_reg_fraction);
+            json.beginRow();
+            json.field("app", app.name);
+            json.field("regs_per_thread", app.regs_per_thread);
+            json.field("threads_per_block", app.threads_per_block);
+            json.field("blocks_per_sm", occ.blocks_per_sm);
+            json.field("warps_per_sm", occ.warps_per_sm);
+            json.field("unallocated_reg_fraction",
+                       occ.unallocated_reg_fraction);
+            json.field("assist_fits_free",
+                       with_assist.assist_fits_free ? "yes" : "no");
+            json.endRow();
+            t.addRow({app.name, std::to_string(app.regs_per_thread),
+                      std::to_string(app.threads_per_block),
+                      std::to_string(occ.blocks_per_sm),
+                      std::to_string(occ.warps_per_sm),
+                      Table::pct(occ.unallocated_reg_fraction),
+                      with_assist.assist_fits_free ? "yes" : "no"});
+        }
+        t.addRow({"Average", "", "", "", "", Table::pct(mean(fracs)), ""});
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Paper: ~24%% of the register file unallocated on "
+                    "average.\nMeasured average: %s\n",
+                    Table::pct(mean(fracs)).c_str());
+    };
 }

@@ -8,54 +8,50 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/sweep.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(fig08_bw_utilization)
 {
-    BenchJson json("fig08_bw_utilization",
-                   jsonOutPath("fig08_bw_utilization", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("Figure 8: DRAM bandwidth utilization per design\n\n");
-
-    const std::vector<DesignConfig> designs = {
-        DesignConfig::base(), DesignConfig::hwMem(), DesignConfig::hw(),
-        DesignConfig::caba(), DesignConfig::ideal()};
-    const Sweep sweep(compressionApps(), designs, opts);
-
-    Table t({"app", "Base", "HW-BDI-Mem", "HW-BDI", "CABA-BDI",
-             "Ideal-BDI"});
-    std::vector<std::vector<double>> cols(designs.size());
-    for (const std::string &app : sweep.appNames()) {
-        std::vector<std::string> row = {app};
-        for (std::size_t d = 0; d < designs.size(); ++d) {
-            const double u = sweep.at(app, designs[d].name).bw_utilization;
-            cols[d].push_back(u);
-            row.push_back(Table::pct(u));
+    exp.description =
+        "Figure 8: DRAM bandwidth utilization of the five designs";
+    exp.title = "Figure 8: DRAM bandwidth utilization per design";
+    exp.apps = [] { return compressionApps(); };
+    exp.designs = [] {
+        return std::vector<DesignConfig>{
+            DesignConfig::base(), DesignConfig::hwMem(), DesignConfig::hw(),
+            DesignConfig::caba(), DesignConfig::ideal()};
+    };
+    exp.emit = [](const Sweep &sweep, BenchJson &) {
+        const std::vector<std::string> &designs = sweep.designNames();
+        Table t({"app", "Base", "HW-BDI-Mem", "HW-BDI", "CABA-BDI",
+                 "Ideal-BDI"});
+        std::vector<std::vector<double>> cols(designs.size());
+        for (const std::string &app : sweep.appNames()) {
+            std::vector<std::string> row = {app};
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const double u = sweep.at(app, designs[d]).bw_utilization;
+                cols[d].push_back(u);
+                row.push_back(Table::pct(u));
+            }
+            t.addRow(row);
         }
-        t.addRow(row);
-    }
-    std::vector<std::string> avg = {"Average"};
-    for (std::size_t d = 0; d < designs.size(); ++d)
-        avg.push_back(Table::pct(mean(cols[d])));
-    t.addRow(avg);
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Base -> CABA-BDI average utilization: %s -> %s "
-                "(paper: 53.6%% -> 35.6%%)\n",
-                Table::pct(mean(cols[0])).c_str(),
-                Table::pct(mean(cols[3])).c_str());
+        std::vector<std::string> avg = {"Average"};
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            avg.push_back(Table::pct(mean(cols[d])));
+        t.addRow(avg);
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Base -> CABA-BDI average utilization: %s -> %s "
+                    "(paper: 53.6%% -> 35.6%%)\n",
+                    Table::pct(mean(cols[0])).c_str(),
+                    Table::pct(mean(cols[3])).c_str());
 
-    std::printf("\nMD cache hit rate under CABA-BDI "
-                "(paper: ~85%% average):\n");
-    std::vector<double> md;
-    for (const std::string &app : sweep.appNames())
-        md.push_back(sweep.at(app, "CABA-BDI").md_hit_rate);
-    std::printf("  average %s\n", Table::pct(mean(md)).c_str());
-    json.addSweep(sweep);
-    json.write();
-    return 0;
+        std::printf("\nMD cache hit rate under CABA-BDI "
+                    "(paper: ~85%% average):\n");
+        std::vector<double> md;
+        for (const std::string &app : sweep.appNames())
+            md.push_back(sweep.at(app, "CABA-BDI").md_hit_rate);
+        std::printf("  average %s\n", Table::pct(mean(md)).c_str());
+    };
 }

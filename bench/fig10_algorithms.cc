@@ -9,57 +9,53 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/sweep.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(fig10_algorithms)
 {
-    BenchJson json("fig10_algorithms",
-                   jsonOutPath("fig10_algorithms", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("Figure 10: speedup with different algorithms (vs Base)\n\n");
-
-    const std::vector<DesignConfig> designs = {
-        DesignConfig::base(),
-        DesignConfig::caba(Algorithm::Fpc),
-        DesignConfig::caba(Algorithm::Bdi),
-        DesignConfig::caba(Algorithm::CPack),
-        DesignConfig::caba(Algorithm::BestOfAll)};
-    const Sweep sweep(compressionApps(), designs, opts);
-
-    Table t({"app", "CABA-FPC", "CABA-BDI", "CABA-C-Pack",
-             "CABA-BestOfAll"});
-    std::vector<std::vector<double>> cols(designs.size());
-    for (const std::string &app : sweep.appNames()) {
-        std::vector<std::string> row = {app};
-        for (std::size_t d = 1; d < designs.size(); ++d) {
-            const double s = sweep.speedup(app, designs[d].name, "Base");
-            cols[d].push_back(s);
-            row.push_back(Table::num(s));
+    exp.description =
+        "Figure 10: CABA speedup per compression algorithm";
+    exp.title = "Figure 10: speedup with different algorithms (vs Base)";
+    exp.apps = [] { return compressionApps(); };
+    exp.designs = [] {
+        return std::vector<DesignConfig>{
+            DesignConfig::base(),
+            DesignConfig::caba(Algorithm::Fpc),
+            DesignConfig::caba(Algorithm::Bdi),
+            DesignConfig::caba(Algorithm::CPack),
+            DesignConfig::caba(Algorithm::BestOfAll)};
+    };
+    exp.emit = [](const Sweep &sweep, BenchJson &) {
+        const std::vector<std::string> &designs = sweep.designNames();
+        Table t({"app", "CABA-FPC", "CABA-BDI", "CABA-C-Pack",
+                 "CABA-BestOfAll"});
+        std::vector<std::vector<double>> cols(designs.size());
+        for (const std::string &app : sweep.appNames()) {
+            std::vector<std::string> row = {app};
+            for (std::size_t d = 1; d < designs.size(); ++d) {
+                const double s = sweep.speedup(app, designs[d], "Base");
+                cols[d].push_back(s);
+                row.push_back(Table::num(s));
+            }
+            t.addRow(row);
         }
-        t.addRow(row);
-    }
-    std::vector<std::string> gm = {"GeoMean"};
-    for (std::size_t d = 1; d < designs.size(); ++d)
-        gm.push_back(Table::num(geomean(cols[d])));
-    t.addRow(gm);
-    std::printf("%s\n", t.render().c_str());
+        std::vector<std::string> gm = {"GeoMean"};
+        for (std::size_t d = 1; d < designs.size(); ++d)
+            gm.push_back(Table::num(geomean(cols[d])));
+        t.addRow(gm);
+        std::printf("%s\n", t.render().c_str());
 
-    std::printf("Average improvement (paper: FPC +20.7%%, BDI +41.7%%, "
-                "C-Pack +35.2%%):\n");
-    std::printf("  CABA-FPC    %s\n",
-                Table::pct(geomean(cols[1]) - 1.0).c_str());
-    std::printf("  CABA-BDI    %s\n",
-                Table::pct(geomean(cols[2]) - 1.0).c_str());
-    std::printf("  CABA-C-Pack %s\n",
-                Table::pct(geomean(cols[3]) - 1.0).c_str());
-    std::printf("  BestOfAll   %s\n",
-                Table::pct(geomean(cols[4]) - 1.0).c_str());
-    json.addSweep(sweep);
-    json.write();
-    return 0;
+        std::printf("Average improvement (paper: FPC +20.7%%, BDI +41.7%%, "
+                    "C-Pack +35.2%%):\n");
+        std::printf("  CABA-FPC    %s\n",
+                    Table::pct(geomean(cols[1]) - 1.0).c_str());
+        std::printf("  CABA-BDI    %s\n",
+                    Table::pct(geomean(cols[2]) - 1.0).c_str());
+        std::printf("  CABA-C-Pack %s\n",
+                    Table::pct(geomean(cols[3]) - 1.0).c_str());
+        std::printf("  BestOfAll   %s\n",
+                    Table::pct(geomean(cols[4]) - 1.0).c_str());
+    };
 }

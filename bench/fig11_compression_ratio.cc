@@ -12,8 +12,7 @@
 
 #include "common/table.h"
 #include "compress/registry.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 #include "workloads/workload.h"
 
 using namespace caba;
@@ -44,39 +43,39 @@ ratioFor(const AppDescriptor &app, Algorithm algo, int samples = 4000)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(fig11_compression_ratio)
 {
-    BenchJson json("fig11_compression_ratio",
-                   jsonOutPath("fig11_compression_ratio", argc, argv));
-    std::printf("Figure 11: compression ratio per algorithm "
-                "(DRAM bursts, uncompressed/compressed)\n\n");
+    exp.description =
+        "Figure 11: per-algorithm compression ratio of each app's data";
+    exp.body = [](const ExperimentOptions &, BenchJson &json) {
+        std::printf("Figure 11: compression ratio per algorithm "
+                    "(DRAM bursts, uncompressed/compressed)\n\n");
 
-    const Algorithm algos[] = {Algorithm::Bdi, Algorithm::Fpc,
-                               Algorithm::CPack, Algorithm::BestOfAll};
-    Table t({"app", "BDI", "FPC", "C-Pack", "BestOfAll"});
-    std::vector<std::vector<double>> cols(4);
-    const char *algo_keys[] = {"bdi", "fpc", "cpack", "best_of_all"};
-    for (const AppDescriptor &app : compressionApps()) {
-        std::vector<std::string> row = {app.name};
-        json.beginRow();
-        json.field("app", app.name);
-        for (int a = 0; a < 4; ++a) {
-            const double r = ratioFor(app, algos[a]);
-            cols[static_cast<std::size_t>(a)].push_back(r);
-            row.push_back(Table::num(r));
-            json.field(algo_keys[a], r);
+        const Algorithm algos[] = {Algorithm::Bdi, Algorithm::Fpc,
+                                   Algorithm::CPack, Algorithm::BestOfAll};
+        Table t({"app", "BDI", "FPC", "C-Pack", "BestOfAll"});
+        std::vector<std::vector<double>> cols(4);
+        const char *algo_keys[] = {"bdi", "fpc", "cpack", "best_of_all"};
+        for (const AppDescriptor &app : compressionApps()) {
+            std::vector<std::string> row = {app.name};
+            json.beginRow();
+            json.field("app", app.name);
+            for (int a = 0; a < 4; ++a) {
+                const double r = ratioFor(app, algos[a]);
+                cols[static_cast<std::size_t>(a)].push_back(r);
+                row.push_back(Table::num(r));
+                json.field(algo_keys[a], r);
+            }
+            json.endRow();
+            t.addRow(row);
         }
-        json.endRow();
-        t.addRow(row);
-    }
-    std::vector<std::string> gm = {"GeoMean"};
-    for (int a = 0; a < 4; ++a)
-        gm.push_back(Table::num(geomean(cols[static_cast<std::size_t>(a)])));
-    t.addRow(gm);
-    std::printf("%s\n", t.render().c_str());
-    std::printf("Paper: average BDI bandwidth compression ~2.1x; "
-                "BestOfAll >= max(single algorithms) per line.\n");
-    json.write();
-    return 0;
+        std::vector<std::string> gm = {"GeoMean"};
+        for (int a = 0; a < 4; ++a)
+            gm.push_back(
+                Table::num(geomean(cols[static_cast<std::size_t>(a)])));
+        t.addRow(gm);
+        std::printf("%s\n", t.render().c_str());
+        std::printf("Paper: average BDI bandwidth compression ~2.1x; "
+                    "BestOfAll >= max(single algorithms) per line.\n");
+    };
 }

@@ -8,73 +8,71 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/sweep.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(fig12_bw_sensitivity)
 {
-    BenchJson json("fig12_bw_sensitivity",
-                   jsonOutPath("fig12_bw_sensitivity", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("Figure 12: bandwidth sensitivity "
-                "(speedup vs 1x-Base)\n\n");
-
-    // Bake the bandwidth point into the design identity.
-    std::vector<DesignConfig> designs;
-    const double points[] = {0.5, 1.0, 2.0};
-    for (double p : points) {
-        DesignConfig b = DesignConfig::base();
-        b.name = Table::num(p, 1) + "x-Base";
-        designs.push_back(b);
-        DesignConfig c = DesignConfig::caba();
-        c.name = Table::num(p, 1) + "x-CABA";
-        designs.push_back(c);
-    }
-    auto tweak = [&](const DesignConfig &d, const ExperimentOptions &o) {
+    exp.description =
+        "Figure 12: Base vs CABA at 0.5x/1x/2x off-chip bandwidth";
+    exp.title =
+        "Figure 12: bandwidth sensitivity (speedup vs 1x-Base)";
+    exp.designs = [] {
+        // Bake the bandwidth point into the design identity.
+        std::vector<DesignConfig> designs;
+        const double points[] = {0.5, 1.0, 2.0};
+        for (double p : points) {
+            DesignConfig b = DesignConfig::base();
+            b.name = Table::num(p, 1) + "x-Base";
+            designs.push_back(b);
+            DesignConfig c = DesignConfig::caba();
+            c.name = Table::num(p, 1) + "x-CABA";
+            designs.push_back(c);
+        }
+        return designs;
+    };
+    exp.tweak = [](const DesignConfig &d, const ExperimentOptions &o) {
         ExperimentOptions out = o;
         out.bw_scale = d.name.substr(0, 3) == "0.5" ? 0.5
                      : d.name.substr(0, 3) == "2.0" ? 2.0 : 1.0;
         return out;
     };
-
-    // A representative bandwidth-sensitive subset keeps the 6-point
-    // sweep tractable; the shape matches the full pool.
-    std::vector<AppDescriptor> apps;
-    for (const char *n :
-         {"CONS", "JPEG", "LPS", "MM", "PVC", "PVR", "SLA", "sssp"})
-        apps.push_back(findApp(n));
-    const Sweep sweep(apps, designs, opts, tweak);
-
-    Table t({"app", "0.5x-Base", "0.5x-CABA", "1x-Base", "1x-CABA",
-             "2x-Base", "2x-CABA"});
-    std::vector<std::vector<double>> cols(designs.size());
-    for (const std::string &app : sweep.appNames()) {
-        std::vector<std::string> row = {app};
-        for (std::size_t d = 0; d < designs.size(); ++d) {
-            const double s = sweep.speedup(app, designs[d].name,
-                                           "1.0x-Base");
-            cols[d].push_back(s);
-            row.push_back(Table::num(s));
+    exp.apps = [] {
+        // A representative bandwidth-sensitive subset keeps the 6-point
+        // sweep tractable; the shape matches the full pool.
+        std::vector<AppDescriptor> apps;
+        for (const char *n :
+             {"CONS", "JPEG", "LPS", "MM", "PVC", "PVR", "SLA", "sssp"})
+            apps.push_back(findApp(n));
+        return apps;
+    };
+    exp.emit = [](const Sweep &sweep, BenchJson &) {
+        const std::vector<std::string> &designs = sweep.designNames();
+        Table t({"app", "0.5x-Base", "0.5x-CABA", "1x-Base", "1x-CABA",
+                 "2x-Base", "2x-CABA"});
+        std::vector<std::vector<double>> cols(designs.size());
+        for (const std::string &app : sweep.appNames()) {
+            std::vector<std::string> row = {app};
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                const double s = sweep.speedup(app, designs[d],
+                                               "1.0x-Base");
+                cols[d].push_back(s);
+                row.push_back(Table::num(s));
+            }
+            t.addRow(row);
         }
-        t.addRow(row);
-    }
-    std::vector<std::string> gm = {"GeoMean"};
-    for (std::size_t d = 0; d < designs.size(); ++d)
-        gm.push_back(Table::num(geomean(cols[d])));
-    t.addRow(gm);
-    std::printf("%s\n", t.render().c_str());
+        std::vector<std::string> gm = {"GeoMean"};
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            gm.push_back(Table::num(geomean(cols[d])));
+        t.addRow(gm);
+        std::printf("%s\n", t.render().c_str());
 
-    std::printf("Key comparisons (paper: CABA ~= doubling the off-chip "
-                "bandwidth):\n");
-    std::printf("  1x-CABA  vs 2x-Base: %.2f vs %.2f\n",
-                geomean(cols[3]), geomean(cols[4]));
-    std::printf("  0.5x-CABA vs 1x-Base: %.2f vs %.2f\n",
-                geomean(cols[1]), geomean(cols[2]));
-    json.addSweep(sweep);
-    json.write();
-    return 0;
+        std::printf("Key comparisons (paper: CABA ~= doubling the off-chip "
+                    "bandwidth):\n");
+        std::printf("  1x-CABA  vs 2x-Base: %.2f vs %.2f\n",
+                    geomean(cols[3]), geomean(cols[4]));
+        std::printf("  0.5x-CABA vs 1x-Base: %.2f vs %.2f\n",
+                    geomean(cols[1]), geomean(cols[2]));
+    };
 }

@@ -9,45 +9,42 @@
 #include <vector>
 
 #include "common/table.h"
-#include "harness/json_export.h"
-#include "harness/runner.h"
+#include "harness/experiment.h"
 
 using namespace caba;
 
-int
-main(int argc, char **argv)
+CABA_REGISTER_EXPERIMENT(md_cache_study)
 {
-    BenchJson json("md_cache_study",
-                   jsonOutPath("md_cache_study", argc, argv));
-    ExperimentOptions opts;
-    printSystemConfig(opts);
-    std::printf("MD cache sweep under CABA-BDI (Section 4.3.2)\n\n");
+    exp.description =
+        "Section 4.3.2: MD-cache capacity sweep under CABA-BDI";
+    exp.body = [](const ExperimentOptions &opts, BenchJson &json) {
+        printSystemConfig(opts);
+        std::printf("MD cache sweep under CABA-BDI (Section 4.3.2)\n\n");
 
-    const int sizes_kb[] = {2, 4, 8, 16, 32};
-    const AppDescriptor apps[] = {findApp("PVC"), findApp("MM"),
-                                  findApp("LPS"), findApp("bfs"),
-                                  findApp("TRA"), findApp("sssp")};
+        const int sizes_kb[] = {2, 4, 8, 16, 32};
+        const AppDescriptor apps[] = {findApp("PVC"), findApp("MM"),
+                                      findApp("LPS"), findApp("bfs"),
+                                      findApp("TRA"), findApp("sssp")};
 
-    Table t({"app", "MD KB", "hit rate", "MD misses", "cycles"});
-    std::vector<double> hits_at_8kb;
-    for (const AppDescriptor &app : apps) {
-        for (int kb : sizes_kb) {
-            ExperimentOptions o = opts;
-            o.md_cache_kb = kb;
-            const RunResult r = runApp(app, DesignConfig::caba(), o);
-            json.addCell(app.name,
-                         "CABA-BDI@" + std::to_string(kb) + "KB", r);
-            if (kb == 8)
-                hits_at_8kb.push_back(r.md_hit_rate);
-            t.addRow({app.name, std::to_string(kb),
-                      Table::pct(r.md_hit_rate),
-                      std::to_string(r.stats.get("part_md_misses")),
-                      std::to_string(r.cycles)});
+        Table t({"app", "MD KB", "hit rate", "MD misses", "cycles"});
+        std::vector<double> hits_at_8kb;
+        for (const AppDescriptor &app : apps) {
+            for (int kb : sizes_kb) {
+                ExperimentOptions o = opts;
+                o.md_cache_kb = kb;
+                const RunResult r = runApp(app, DesignConfig::caba(), o);
+                json.addCell(app.name,
+                             "CABA-BDI@" + std::to_string(kb) + "KB", r);
+                if (kb == 8)
+                    hits_at_8kb.push_back(r.md_hit_rate);
+                t.addRow({app.name, std::to_string(kb),
+                          Table::pct(r.md_hit_rate),
+                          std::to_string(r.stats.get("part_md_misses")),
+                          std::to_string(r.cycles)});
+            }
         }
-    }
-    std::printf("%s\n", t.render().c_str());
-    std::printf("8KB 4-way average hit rate: %s (paper: ~85%%)\n",
-                Table::pct(mean(hits_at_8kb)).c_str());
-    json.write();
-    return 0;
+        std::printf("%s\n", t.render().c_str());
+        std::printf("8KB 4-way average hit rate: %s (paper: ~85%%)\n",
+                    Table::pct(mean(hits_at_8kb)).c_str());
+    };
 }

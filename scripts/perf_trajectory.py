@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Measure fig07 wall-clock and emit a caba-perf-v1 BENCH document.
 
-Runs the fig07_performance bench N times (serially, CABA_JOBS=1), times
-each rep, and writes a stable machine-readable perf document:
+Runs one experiment (default fig07_performance) through the unified
+caba_bench CLI N times (serially, CABA_JOBS=1), times each rep, and
+writes a stable machine-readable perf document:
 
     {
       "schema": "caba-perf-v1",
@@ -42,14 +43,16 @@ import time
 PROGRESS_RE = re.compile(r"\[sweep\]\s*\d+/\d+\s+(\S+)\s+x\s+(\S+)")
 
 
-def run_rep(bench, scale, json_path):
+def run_rep(bench, experiment, scale, json_path):
     """One timed bench run; returns (wall_seconds, per_design_wall)."""
     env = dict(os.environ)
     env["CABA_SCALE"] = repr(scale)
     env["CABA_JOBS"] = "1"  # serial: progress deltas == per-cell wall
+    # A warm cell cache would skip the simulation being timed.
+    env.pop("CABA_CACHE_DIR", None)
     start = time.monotonic()
     proc = subprocess.Popen(
-        [bench, "--json", json_path],
+        [bench, experiment, "--json", json_path],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
         env=env,
@@ -87,7 +90,7 @@ def run_rep(bench, scale, json_path):
     return wall, design_wall
 
 
-def run_profiled_rep(bench, scale, json_path, prof_path):
+def run_profiled_rep(bench, experiment, scale, json_path, prof_path):
     """One extra rep with CABA_PROF attached (not counted in wall time).
 
     Returns the per-(component, phase) attribution from the bench's
@@ -98,8 +101,9 @@ def run_profiled_rep(bench, scale, json_path, prof_path):
     env["CABA_SCALE"] = repr(scale)
     env["CABA_JOBS"] = "1"
     env["CABA_PROF"] = prof_path
+    env.pop("CABA_CACHE_DIR", None)
     subprocess.run(
-        [bench, "--json", json_path],
+        [bench, experiment, "--json", json_path],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
         env=env,
@@ -136,7 +140,9 @@ def result_rows(bench_doc):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", required=True,
-                    help="path to the fig07_performance binary")
+                    help="path to the caba_bench binary")
+    ap.add_argument("--experiment", default="fig07_performance",
+                    help="experiment to time (see caba_bench --list)")
     ap.add_argument("--out", required=True,
                     help="output path for the caba-perf-v1 document")
     ap.add_argument("--scale", type=float, default=0.25)
@@ -166,7 +172,8 @@ def main():
     first_bench_json = None
     for rep in range(args.reps):
         json_path = f"{args.out}.rep{rep}.bench.json"
-        wall, design_wall = run_rep(args.bench, args.scale, json_path)
+        wall, design_wall = run_rep(args.bench, args.experiment, args.scale,
+                                    json_path)
         print(f"rep {rep}: {wall:.3f}s", file=sys.stderr)
         with open(json_path, "rb") as f:
             bench_bytes = f.read()
@@ -185,7 +192,7 @@ def main():
         json_path = f"{args.out}.prof_rep.bench.json"
         prof_path = f"{args.out}.prof.json"
         profile_attr = run_profiled_rep(
-            args.bench, args.scale, json_path, prof_path
+            args.bench, args.experiment, args.scale, json_path, prof_path
         )
         with open(json_path, "rb") as f:
             if f.read() != first_bench_json:

@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
-# Regenerates every paper figure/table, saving one log per bench binary
-# into bench_results/ and a combined bench_output.txt at the repo root.
+# Regenerates every paper figure/table through the unified caba_bench
+# CLI. One process runs all experiments, so cells shared between them
+# (Figures 7/8/9 sweep the same grid) simulate once via the in-process
+# cell cache; set CABA_CACHE_DIR to also persist cells across runs.
+#
+# Saves one log per experiment into bench_results/ (plus each
+# experiment's caba-bench-v1 JSON) and a combined bench_output.txt at
+# the repo root.
 #
 # Usage: scripts/run_all_benches.sh [build-dir]
 set -u
 BUILD=${1:-build}
 OUT=bench_results
 mkdir -p "$OUT"
-: > bench_output.txt
-for b in "$BUILD"/bench/*; do
-    [ -f "$b" ] && [ -x "$b" ] || continue
-    name=$(basename "$b")
-    echo "=== $name ===" | tee -a bench_output.txt
-    "$b" 2>/dev/null | tee "$OUT/$name.txt" | tee -a bench_output.txt
-    echo | tee -a bench_output.txt
-done
+"$BUILD"/bench/caba_bench --all --json 2>/dev/null \
+    | tee bench_output.txt \
+    | awk -v out="$OUT" '
+        function emit(    file, i) {
+            if (name == "")
+                return
+            file = out "/" name ".txt"
+            # Drop the single separator blank line caba_bench appends,
+            # keeping each log identical to the old standalone binary.
+            if (n > 0 && lines[n] == "")
+                n--
+            for (i = 1; i <= n; i++)
+                print lines[i] > file
+            close(file)
+        }
+        /^=== .* ===$/ { emit(); name = $2; n = 0; next }
+        { lines[++n] = $0 }
+        END { emit() }'
 echo "All bench logs in $OUT/, combined log in bench_output.txt"

@@ -7,6 +7,7 @@
 #include "common/env.h"
 #include "common/log.h"
 #include "common/self_profile.h"
+#include "harness/cell_cache.h"
 
 namespace caba {
 
@@ -32,9 +33,12 @@ makeGpuConfig(const ExperimentOptions &opts)
     return cfg;
 }
 
+namespace {
+
+/** The uncached simulation proper (runApp body before the cell cache). */
 RunResult
-runApp(const AppDescriptor &app, const DesignConfig &design,
-       const ExperimentOptions &opts)
+simulateApp(const AppDescriptor &app, const DesignConfig &design,
+            const ExperimentOptions &opts)
 {
     std::optional<GpuSystem> gpu;
     int warps = 0;
@@ -57,6 +61,20 @@ runApp(const AppDescriptor &app, const DesignConfig &design,
     SelfProfile::Scope scope("run");
     gpu->launch(&*wl, warps);
     return gpu->run();
+}
+
+} // namespace
+
+RunResult
+runApp(const AppDescriptor &app, const DesignConfig &design,
+       const ExperimentOptions &opts)
+{
+    CellCache &cache = CellCache::instance();
+    if (cache.enabled())
+        return cache.runCell(app, design, opts, [&] {
+            return simulateApp(app, design, opts);
+        });
+    return simulateApp(app, design, opts);
 }
 
 double

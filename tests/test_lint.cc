@@ -146,6 +146,38 @@ TEST(Lint, StatHygiene)
         EXPECT_EQ(f.rule, "stat-hygiene");
 }
 
+TEST(Lint, ExperimentRegistryCaseAndDuplicates)
+{
+    auto findings = caba::lint::run({fixture("exp_registry.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "experiment-registry");
+    EXPECT_NE(findings[0].message.find("snake_case"), std::string::npos)
+        << findings[0].message;
+    EXPECT_NE(findings[1].message.find("duplicate"), std::string::npos)
+        << findings[1].message;
+}
+
+TEST(Lint, ExperimentRegistryCrossFileDuplicate)
+{
+    // The uniqueness check spans files, and the finding lands on the
+    // lexicographically later file regardless of input order.
+    SourceFile a{"bench/a.cc",
+                 "CABA_REGISTER_EXPERIMENT(shared_name)\n{\n}\n"};
+    SourceFile b{"bench/b.cc",
+                 "CABA_REGISTER_EXPERIMENT(shared_name)\n{\n}\n"};
+    for (const auto &files :
+         {std::vector<SourceFile>{a, b}, std::vector<SourceFile>{b, a}}) {
+        auto findings = caba::lint::run(files);
+        ASSERT_EQ(findings.size(), 1u);
+        EXPECT_EQ(findings[0].rule, "experiment-registry");
+        EXPECT_EQ(findings[0].file, "bench/b.cc");
+        EXPECT_NE(findings[0].message.find("bench/a.cc"),
+                  std::string::npos)
+            << findings[0].message;
+    }
+}
+
 TEST(Lint, CleanFixtureHasNoFindings)
 {
     EXPECT_TRUE(caba::lint::run({fixture("clean.cc")}).empty());
@@ -174,7 +206,8 @@ TEST(Lint, JsonReportShape)
     std::vector<SourceFile> files;
     for (const char *name :
          {"det_clocks.cc", "det_ptr_sort.cc", "iter_unordered.cc",
-          "env_direct.cc", "assert_bare.cc", "stats_bad.cc", "clean.cc"})
+          "env_direct.cc", "assert_bare.cc", "stats_bad.cc",
+          "exp_registry.cc", "clean.cc"})
         files.push_back(fixture(name));
     auto findings = caba::lint::run(files);
     auto by_rule = countByRule(findings);
@@ -183,6 +216,7 @@ TEST(Lint, JsonReportShape)
     EXPECT_EQ(by_rule["env-access"], 2);
     EXPECT_EQ(by_rule["check-discipline"], 2);
     EXPECT_EQ(by_rule["stat-hygiene"], 4);
+    EXPECT_EQ(by_rule["experiment-registry"], 2);
 
     const std::string json = caba::lint::toJson(findings, {});
     minijson::Value doc;
@@ -201,7 +235,8 @@ TEST(Lint, JsonReportShape)
     EXPECT_EQ(count_of("env-access"), 2);
     EXPECT_EQ(count_of("check-discipline"), 2);
     EXPECT_EQ(count_of("stat-hygiene"), 4);
-    EXPECT_EQ(count_of("total"), 20);
+    EXPECT_EQ(count_of("experiment-registry"), 2);
+    EXPECT_EQ(count_of("total"), 22);
     EXPECT_EQ(count_of("baselined"), 0);
     const minijson::Value *arr = doc.find("findings");
     ASSERT_NE(arr, nullptr);

@@ -1,0 +1,24 @@
+// Fixture for the experiment-registry rule: two findings — the
+// CamelCase name and the duplicate registration of `alpha`. The first
+// `alpha` and `beta_two` are clean.
+#include "harness/experiment.h"
+
+CABA_REGISTER_EXPERIMENT(alpha)
+{
+    exp.description = "first registration, clean";
+}
+
+CABA_REGISTER_EXPERIMENT(BadName)
+{
+    exp.description = "not snake_case";
+}
+
+CABA_REGISTER_EXPERIMENT(beta_two)
+{
+    exp.description = "clean";
+}
+
+CABA_REGISTER_EXPERIMENT(alpha)
+{
+    exp.description = "duplicate of the first";
+}

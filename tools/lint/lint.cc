@@ -26,7 +26,7 @@ namespace fs = std::filesystem;
 /** Rule ids in fixed report order. */
 const char *const kRules[] = {
     "determinism", "iteration-order", "env-access", "check-discipline",
-    "stat-hygiene",
+    "stat-hygiene", "experiment-registry",
 };
 
 bool
@@ -66,7 +66,7 @@ runTree(const std::string &root, std::vector<Finding> *out,
 {
     const fs::path base(root);
     std::vector<std::string> rel_paths;
-    for (const char *top : {"src", "tests"}) {
+    for (const char *top : {"bench", "src", "tests"}) {
         const fs::path dir = base / top;
         if (!fs::exists(dir)) {
             *error = "missing directory " + dir.string() +

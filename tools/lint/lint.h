@@ -23,6 +23,11 @@
  *                     the same set/setCounter name in one file is a
  *                     silent overwrite and an error; mergePrefixed
  *                     prefixes must be snake_case ending in '_'.
+ *  - experiment-registry
+ *                     CABA_REGISTER_EXPERIMENT names (which double as
+ *                     caba_bench CLI selectors and JSON "bench" ids)
+ *                     must be snake_case and unique across the whole
+ *                     tree — a duplicate panics at static-init time.
  */
 #ifndef CABA_TOOLS_LINT_LINT_H
 #define CABA_TOOLS_LINT_LINT_H
@@ -57,9 +62,9 @@ struct SourceFile
 std::vector<Finding> run(const std::vector<SourceFile> &files);
 
 /**
- * Reads .h, .cc and .cpp files under <root>/src and <root>/tests (lexicographic
- * walk, so results are machine-independent) and lints them. On I/O
- * failure returns false and sets @p error.
+ * Reads .h, .cc and .cpp files under <root>/bench, <root>/src and
+ * <root>/tests (lexicographic walk, so results are machine-independent)
+ * and lints them. On I/O failure returns false and sets @p error.
  */
 bool runTree(const std::string &root, std::vector<Finding> *out,
              std::string *error);

@@ -22,7 +22,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: caba-lint [--root DIR] [--baseline FILE] [--json[=PATH]]\n"
-        "  --root DIR       repo root to scan (src/ and tests/; default .)\n"
+        "  --root DIR       repo root to scan (bench/, src/ and tests/; "
+        "default .)\n"
         "  --baseline FILE  accepted findings (default ROOT/tools/lint/\n"
         "                   baseline.json when present)\n"
         "  --json[=PATH]    write the caba-lint-v1 JSON report to PATH\n"

@@ -1,6 +1,6 @@
 /**
  * @file
- * The five caba-lint rules, pattern-matching over lexed token streams.
+ * The six caba-lint rules, pattern-matching over lexed token streams.
  * Each rule is deliberately narrow: it must fire on every seeded
  * violation in tools/lint/fixtures/ and stay silent on the real tree
  * (or the finding goes to tools/lint/baseline.json with a reason).
@@ -547,6 +547,70 @@ ruleStatHygiene(const LexedFile &f, const std::string &path,
     }
 }
 
+// ---------------------------------------------------------------------------
+// experiment-registry
+
+/** One CABA_REGISTER_EXPERIMENT(name) call site. */
+struct ExperimentRegistration
+{
+    std::string file;
+    int line = 0;
+    std::string name;
+};
+
+/** Collects `CABA_REGISTER_EXPERIMENT ( ident )` call sites. The macro
+ *  definition itself lives on preprocessor lines the lexer skips, so
+ *  only invocations match. */
+void
+collectExperimentRegistrations(const LexedFile &f, const std::string &path,
+                               std::vector<ExperimentRegistration> &regs)
+{
+    const auto &t = f.tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (!t[i].ident("CABA_REGISTER_EXPERIMENT") || !t[i + 1].punct("("))
+            continue;
+        if (t[i + 2].kind != Token::Ident || !t[i + 3].punct(")"))
+            continue;
+        regs.push_back({path, t[i + 2].line, t[i + 2].text});
+    }
+}
+
+/** Experiment names double as CLI selectors and JSON "bench" ids: they
+ *  must be snake_case and globally unique. A duplicate would panic in
+ *  ExperimentRegistry::add at static-init time; lint catches it before
+ *  any binary runs. Registrations are sorted so the finding lands on
+ *  the lexicographically later site regardless of input file order. */
+void
+ruleExperimentRegistry(std::vector<ExperimentRegistration> regs,
+                       std::vector<Finding> &out)
+{
+    std::sort(regs.begin(), regs.end(),
+              [](const ExperimentRegistration &a,
+                 const ExperimentRegistration &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.name < b.name;
+              });
+    std::map<std::string, std::string> first_file;
+    for (const ExperimentRegistration &r : regs) {
+        if (!snakeCase(r.name)) {
+            add(out, "experiment-registry", r.file, r.line,
+                "experiment name '" + r.name +
+                    "' violates the snake_case convention (lowercase, "
+                    "single underscores)");
+        }
+        auto [it, fresh] = first_file.emplace(r.name, r.file);
+        if (!fresh) {
+            add(out, "experiment-registry", r.file, r.line,
+                "duplicate experiment registration '" + r.name +
+                    "' — first registered in " + it->second +
+                    "; the registry panics on duplicates at startup");
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -555,6 +619,7 @@ run(const std::vector<SourceFile> &files)
     std::vector<std::pair<const SourceFile *, LexedFile>> lexed;
     lexed.reserve(files.size());
     std::set<std::string> unordered_names;
+    std::vector<ExperimentRegistration> registrations;
     for (const SourceFile &f : files) {
         lexed.emplace_back(&f, lex(f.text));
         // Unordered declarations are collected from src/ only: a
@@ -562,6 +627,8 @@ run(const std::vector<SourceFile> &files)
         // the simulator (the rule itself also only fires in src/).
         if (inSrc(f.path))
             collectUnorderedNames(lexed.back().second, unordered_names);
+        collectExperimentRegistrations(lexed.back().second, f.path,
+                                       registrations);
     }
 
     std::vector<Finding> out;
@@ -575,6 +642,7 @@ run(const std::vector<SourceFile> &files)
             ruleStatHygiene(lf, path, out);
         }
     }
+    ruleExperimentRegistry(std::move(registrations), out);
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
