@@ -5,23 +5,25 @@
  * experiment still emits its own caba-bench-v1 document, byte-identical
  * to the standalone binary's output.
  *
- * Unlike the old binaries — which silently ignored unrecognized argv
- * tokens — every unknown flag here is a hard error with usage on
- * stderr.
+ * Parsing lives in harness/bench_cli.h (shared with the tests and, for
+ * option validation, the sweep service); this file is only the glue:
+ * usage text, selection against the registry, and the run loop. Unlike
+ * the old binaries — which silently ignored unrecognized argv tokens —
+ * every unknown flag is a hard error with usage on stderr.
  *
  * The in-process cell cache is always on: experiments sharing (app,
  * design, options) cells (Figures 7/8/9 run the same sweep) simulate
  * each cell once per process. Set CABA_CACHE_DIR to persist cells
- * across runs.
+ * across runs. caba_sweepd serves the same experiments from a
+ * long-running process over a socket (see tools/sweepd/).
  */
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "harness/bench_cli.h"
 #include "harness/cell_cache.h"
 #include "harness/experiment.h"
 
@@ -45,42 +47,20 @@ usage(std::FILE *out)
         "  --all            run every registered experiment\n"
         "  --filter GLOB    run experiments whose name matches GLOB "
         "(* and ?)\n"
-        "  --json[=PATH]    write caba-bench-v1 JSON; the default PATH "
-        "is\n"
-        "                   bench_results/<experiment>.json, an explicit "
-        "PATH\n"
-        "                   requires exactly one selected experiment\n"
-        "  --scale X        workload loop-trip multiplier "
-        "(CABA_SCALE stacks on top)\n"
+        "  --json           write caba-bench-v1 JSON to the default "
+        "path,\n"
+        "                   bench_results/<experiment>.json\n"
+        "  --json=PATH      write to PATH instead (requires exactly one\n"
+        "                   selected experiment); bare --json never "
+        "consumes\n"
+        "                   the next argument\n"
+        "  --scale X        workload loop-trip multiplier, finite and "
+        "positive\n"
+        "                   (CABA_SCALE stacks on top)\n"
         "  --jobs N         sweep worker threads (1 = serial)\n"
         "  --warps N        cap resident warps per SM\n"
         "  --help-env       list environment variables and exit\n"
         "  -h, --help       this help\n");
-}
-
-/** Shell-style match of @p s against @p pat ('*' and '?'). */
-bool
-globMatch(const char *pat, const char *s)
-{
-    const char *star = nullptr;
-    const char *star_s = nullptr;
-    while (*s != '\0') {
-        if (*pat == '?' || *pat == *s) {
-            ++pat;
-            ++s;
-        } else if (*pat == '*') {
-            star = pat++;
-            star_s = s;
-        } else if (star != nullptr) {
-            pat = star + 1;
-            s = ++star_s;
-        } else {
-            return false;
-        }
-    }
-    while (*pat == '*')
-        ++pat;
-    return *pat == '\0';
 }
 
 [[noreturn]] void
@@ -96,122 +76,36 @@ usageError(const std::string &msg)
 int
 main(int argc, char **argv)
 {
-    bool list = false;
-    bool run_all = false;
-    bool json_enabled = false;
-    std::string json_explicit;
-    std::vector<std::string> filters;
-    std::vector<std::string> names;
-    ExperimentOptions opts;
-
-    // Flags with a value accept both "--flag value" and "--flag=value".
-    const auto valueOf = [&](const std::string &flag, const char *inline_val,
-                             int &i) -> std::string {
-        if (inline_val != nullptr)
-            return inline_val;
-        if (i + 1 >= argc)
-            usageError("flag " + flag + " needs a value");
-        return argv[++i];
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "-h" || arg == "--help") {
-            usage(stdout);
-            return 0;
-        }
-        if (arg == "--help-env") {
-            env::printHelp(stdout);
-            return 0;
-        }
-        if (arg.rfind("--", 0) == 0) {
-            const std::size_t eq = arg.find('=');
-            const std::string flag = arg.substr(0, eq);
-            const char *inline_val =
-                eq == std::string::npos ? nullptr : arg.c_str() + eq + 1;
-            if (flag == "--list" || flag == "--all") {
-                if (inline_val != nullptr)
-                    usageError("flag " + flag + " takes no value");
-                (flag == "--list" ? list : run_all) = true;
-            } else if (flag == "--filter") {
-                filters.push_back(valueOf(flag, inline_val, i));
-            } else if (flag == "--json") {
-                json_enabled = true;
-                // Bare --json keeps per-experiment default paths; an
-                // attached path may also follow as the next token (the
-                // grammar the old binaries' jsonOutPath accepted).
-                if (inline_val != nullptr)
-                    json_explicit = inline_val;
-                else if (i + 1 < argc && argv[i + 1][0] != '-')
-                    json_explicit = argv[++i];
-                if (json_enabled && inline_val != nullptr &&
-                    json_explicit.empty())
-                    usageError("--json= needs a non-empty path");
-            } else if (flag == "--scale") {
-                const std::string v = valueOf(flag, inline_val, i);
-                char *end = nullptr;
-                opts.scale = std::strtod(v.c_str(), &end);
-                if (end == v.c_str() || *end != '\0' || opts.scale <= 0.0)
-                    usageError("--scale needs a positive number, got '" +
-                               v + "'");
-            } else if (flag == "--jobs" || flag == "--warps") {
-                const std::string v = valueOf(flag, inline_val, i);
-                char *end = nullptr;
-                const long n = std::strtol(v.c_str(), &end, 10);
-                if (end == v.c_str() || *end != '\0' || n < 0)
-                    usageError(flag + " needs a non-negative integer, "
-                               "got '" + v + "'");
-                (flag == "--jobs" ? opts.jobs : opts.max_warps) =
-                    static_cast<int>(n);
-            } else {
-                usageError("unknown flag '" + arg + "'");
-            }
-        } else if (arg[0] == '-' && arg.size() > 1) {
-            usageError("unknown flag '" + arg + "'");
-        } else {
-            names.push_back(arg);
-        }
+    BenchCli cli;
+    std::string error;
+    if (!parseBenchCli(std::vector<std::string>(argv + 1, argv + argc),
+                       &cli, &error))
+        usageError(error);
+    if (cli.action == BenchCli::Action::Help) {
+        usage(stdout);
+        return 0;
+    }
+    if (cli.action == BenchCli::Action::HelpEnv) {
+        env::printHelp(stdout);
+        return 0;
     }
 
     const ExperimentRegistry &registry = ExperimentRegistry::instance();
     const std::vector<const Experiment *> everything = registry.all();
 
-    if (list) {
+    if (cli.list) {
         for (const Experiment *e : everything)
             std::printf("%-24s  %s\n", e->name.c_str(),
                         e->description.c_str());
         return 0;
     }
 
-    std::set<std::string> selected;
-    for (const std::string &name : names) {
-        if (registry.find(name) == nullptr)
-            usageError("unknown experiment '" + name +
-                       "' (see --list)");
-        selected.insert(name);
-    }
-    for (const std::string &glob : filters) {
-        bool any = false;
-        for (const Experiment *e : everything) {
-            if (globMatch(glob.c_str(), e->name.c_str())) {
-                selected.insert(e->name);
-                any = true;
-            }
-        }
-        if (!any)
-            usageError("--filter '" + glob +
-                       "' matches no experiment (see --list)");
-    }
-    if (run_all)
-        for (const Experiment *e : everything)
-            selected.insert(e->name);
-    if (selected.empty())
-        usageError("no experiments selected (name one, or use --all, "
-                   "--filter, --list)");
-    if (!json_explicit.empty() && selected.size() > 1)
-        usageError("an explicit --json path needs exactly one selected "
-                   "experiment (" + std::to_string(selected.size()) +
-                   " selected)");
+    std::vector<std::string> available;
+    for (const Experiment *e : everything)
+        available.push_back(e->name);
+    std::vector<std::string> selected;
+    if (!resolveSelection(cli, available, &selected, &error))
+        usageError(error);
 
     // Cross-experiment memoization: shared (app, design, options) cells
     // simulate once per process (plus the CABA_CACHE_DIR disk layer,
@@ -224,11 +118,11 @@ main(int argc, char **argv)
         if (multiple)
             std::printf("=== %s ===\n", name.c_str());
         std::string path;
-        if (json_enabled)
-            path = json_explicit.empty()
+        if (cli.json_enabled)
+            path = cli.json_path.empty()
                        ? "bench_results/" + name + ".json"
-                       : json_explicit;
-        runExperiment(*e, opts, path);
+                       : cli.json_path;
+        runExperiment(*e, cli.opts, path);
         if (multiple)
             std::printf("\n");
     }

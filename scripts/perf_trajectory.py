@@ -52,7 +52,7 @@ def run_rep(bench, experiment, scale, json_path):
     env.pop("CABA_CACHE_DIR", None)
     start = time.monotonic()
     proc = subprocess.Popen(
-        [bench, experiment, "--json", json_path],
+        [bench, experiment, "--json=" + json_path],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
         env=env,
@@ -103,7 +103,7 @@ def run_profiled_rep(bench, experiment, scale, json_path, prof_path):
     env["CABA_PROF"] = prof_path
     env.pop("CABA_CACHE_DIR", None)
     subprocess.run(
-        [bench, experiment, "--json", json_path],
+        [bench, experiment, "--json=" + json_path],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
         env=env,

@@ -15,7 +15,7 @@ namespace {
  * nothing else: snapshotting, raw(), typed accessors and --help-env all
  * derive from this table. Keep rows in the order users should read
  * them. */
-constexpr std::array<Var, 9> kVars{{
+constexpr std::array<Var, 12> kVars{{
     {"CABA_SCALE", Type::Real, "1.0",
      "Workload loop-trip multiplier, applied on top of any --scale flag; "
      "non-positive or unset keeps the configured scale."},
@@ -47,6 +47,15 @@ constexpr std::array<Var, 9> kVars{{
      "component class and phase, writes caba-prof-v1 JSON at exit plus "
      "a top-N table on stderr. Simulation results are bit-identical "
      "profiler on/off."},
+    {"CABA_SWEEPD_SOCKET", Type::Str, "caba_sweepd.sock",
+     "caba_sweepd/caba_sweep listen/connect address: a Unix-domain "
+     "socket path, or tcp:HOST:PORT for multi-machine use."},
+    {"CABA_SWEEPD_QUEUE", Type::Int, "64",
+     "caba_sweepd admission-queue bound; requests beyond it are "
+     "rejected immediately with a queue_full error (backpressure)."},
+    {"CABA_SWEEPD_TIMEOUT_MS", Type::Int, "0",
+     "caba_sweepd default per-request deadline in milliseconds "
+     "(0 = none); a request's own timeout_ms field overrides."},
 }};
 
 std::size_t
@@ -106,6 +115,13 @@ positiveIntOr(const char *name, int fallback)
         return fallback;
     const int parsed = std::atoi(v);
     return parsed > 0 ? parsed : fallback;
+}
+
+const char *
+strOr(const char *name, const char *fallback)
+{
+    const char *v = raw(name);
+    return v != nullptr ? v : fallback;
 }
 
 double

@@ -58,6 +58,9 @@ int intOr(const char *name, int fallback);
 /** Parsed positive integer, or @p fallback when unset/non-positive. */
 int positiveIntOr(const char *name, int fallback);
 
+/** Raw string value, or @p fallback when unset. */
+const char *strOr(const char *name, const char *fallback);
+
 /** Parsed positive real, or @p fallback when unset/non-positive. */
 double positiveRealOr(const char *name, double fallback);
 

@@ -1,0 +1,57 @@
+#include "common/parse.h"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace caba {
+namespace parse {
+
+bool
+finitePositiveReal(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    // ERANGE covers overflow to HUGE_VAL and underflow to 0/denormal;
+    // isfinite covers explicit "nan"/"inf" spellings, which strtod
+    // happily parses (and NaN defeats any <=/>= rejection).
+    if (errno == ERANGE || !std::isfinite(v) || v <= 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+boundedInt(const std::string &s, long min, long max, long *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long n = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    if (n < min || n > max)
+        return false;
+    *out = n;
+    return true;
+}
+
+bool
+intInRange(const std::string &s, int min, int *out)
+{
+    long n = 0;
+    if (!boundedInt(s, min, INT_MAX, &n))
+        return false;
+    *out = static_cast<int>(n);
+    return true;
+}
+
+} // namespace parse
+} // namespace caba

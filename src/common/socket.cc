@@ -1,0 +1,329 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/parse.h"
+
+namespace caba {
+namespace net {
+
+namespace {
+
+const char kFrameMagic[4] = {'C', 'S', 'W', '1'};
+
+std::string
+errnoStr(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+void
+storeLe32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void
+storeLe64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+loadLe32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+loadLe64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+sendAll(int fd, const void *buf, std::size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, void *buf, std::size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+fillSockaddrUn(const std::string &path, sockaddr_un *sa, std::string *error)
+{
+    std::memset(sa, 0, sizeof(*sa));
+    sa->sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa->sun_path)) {
+        *error = "socket path too long (" + std::to_string(path.size()) +
+                 " bytes, limit " +
+                 std::to_string(sizeof(sa->sun_path) - 1) + "): " + path;
+        return false;
+    }
+    std::memcpy(sa->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+fillSockaddrIn(const Address &addr, sockaddr_in *sa, std::string *error)
+{
+    std::memset(sa, 0, sizeof(*sa));
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(static_cast<std::uint16_t>(addr.port));
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa->sin_addr) != 1) {
+        *error = "tcp address must use a dotted-quad host, got '" +
+                 addr.host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Address::str() const
+{
+    if (!tcp)
+        return path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool
+parseAddress(const std::string &spec, Address *out, std::string *error)
+{
+    if (spec.empty()) {
+        *error = "empty socket address";
+        return false;
+    }
+    Address a;
+    if (spec.rfind("tcp:", 0) == 0) {
+        const std::string rest = spec.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0) {
+            *error = "tcp address must be tcp:HOST:PORT, got '" + spec + "'";
+            return false;
+        }
+        a.tcp = true;
+        a.host = rest.substr(0, colon);
+        long port = 0;
+        if (!parse::boundedInt(rest.substr(colon + 1), 1, 65535, &port)) {
+            *error = "tcp port must be 1..65535, got '" +
+                     rest.substr(colon + 1) + "'";
+            return false;
+        }
+        a.port = static_cast<int>(port);
+    } else {
+        a.path = spec;
+        sockaddr_un probe;
+        if (!fillSockaddrUn(a.path, &probe, error))
+            return false;
+    }
+    *out = a;
+    return true;
+}
+
+int
+listenOn(const Address &addr, std::string *error)
+{
+    const int fd =
+        ::socket(addr.tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = errnoStr("socket");
+        return -1;
+    }
+    int rc;
+    if (addr.tcp) {
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in sa;
+        if (!fillSockaddrIn(addr, &sa, error)) {
+            closeFd(fd);
+            return -1;
+        }
+        rc = ::bind(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa));
+    } else {
+        // A previous daemon that crashed leaves the socket file behind;
+        // bind would fail with EADDRINUSE, so clear it first. A live
+        // daemon on the same path loses its listener name — running two
+        // daemons on one socket is operator error either way.
+        ::unlink(addr.path.c_str());
+        sockaddr_un sa;
+        if (!fillSockaddrUn(addr.path, &sa, error)) {
+            closeFd(fd);
+            return -1;
+        }
+        rc = ::bind(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa));
+    }
+    if (rc != 0) {
+        *error = errnoStr("bind " + addr.str());
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        *error = errnoStr("listen " + addr.str());
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTo(const Address &addr, std::string *error)
+{
+    const int fd =
+        ::socket(addr.tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = errnoStr("socket");
+        return -1;
+    }
+    int rc;
+    if (addr.tcp) {
+        sockaddr_in sa;
+        if (!fillSockaddrIn(addr, &sa, error)) {
+            closeFd(fd);
+            return -1;
+        }
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa));
+    } else {
+        sockaddr_un sa;
+        if (!fillSockaddrUn(addr.path, &sa, error)) {
+            closeFd(fd);
+            return -1;
+        }
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa));
+    }
+    if (rc != 0) {
+        *error = errnoStr("connect " + addr.str());
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptClient(int listen_fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0)
+        return -1;
+    if (rc < 0)
+        return errno == EINTR ? -1 : -2;
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0)
+        return -2;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    return fd < 0 ? -1 : fd;
+}
+
+void
+setIoTimeout(int fd, int timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+unlinkIfUds(const Address &addr)
+{
+    if (!addr.tcp && !addr.path.empty())
+        ::unlink(addr.path.c_str());
+}
+
+bool
+writeFrame(int fd, std::uint32_t type, const std::string &payload)
+{
+    unsigned char header[16];
+    std::memcpy(header, kFrameMagic, 4);
+    storeLe32(header + 4, type);
+    storeLe64(header + 8, payload.size());
+    if (!sendAll(fd, header, sizeof(header)))
+        return false;
+    return payload.empty() || sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::uint32_t *type, std::string *payload,
+          std::uint64_t max_len, std::string *error)
+{
+    unsigned char header[16];
+    if (!recvAll(fd, header, sizeof(header))) {
+        *error = "connection closed or timed out reading frame header";
+        return false;
+    }
+    if (std::memcmp(header, kFrameMagic, 4) != 0) {
+        *error = "bad frame magic (not a caba-sweep peer?)";
+        return false;
+    }
+    *type = loadLe32(header + 4);
+    const std::uint64_t len = loadLe64(header + 8);
+    if (len > max_len) {
+        *error = "frame of " + std::to_string(len) +
+                 " bytes exceeds the " + std::to_string(max_len) +
+                 "-byte limit";
+        return false;
+    }
+    payload->resize(static_cast<std::size_t>(len));
+    if (len > 0 && !recvAll(fd, payload->data(),
+                            static_cast<std::size_t>(len))) {
+        *error = "connection closed or timed out reading frame payload";
+        return false;
+    }
+    return true;
+}
+
+} // namespace net
+} // namespace caba

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Socket and message-framing helpers for the sweep service
+ * (harness/sweep_service.h, tools/sweepd/). Unix-domain sockets are the
+ * default transport (address = a filesystem path); "tcp:HOST:PORT"
+ * selects TCP for multi-machine use.
+ *
+ * Framing: every protocol message is one length-prefixed frame
+ *
+ *   magic "CSW1" (4 bytes) | type u32 LE | length u64 LE | payload
+ *
+ * so the same encoding can later carry cells to worker processes or
+ * remote shards — nothing in the frame layer knows about requests.
+ * Frame types are defined by the service protocol (sweep_service.h).
+ *
+ * All helpers return false/-1 on error with a one-line reason in the
+ * caller's error string; none of them throws, and SIGPIPE is never
+ * raised (sends use MSG_NOSIGNAL).
+ */
+#ifndef CABA_COMMON_SOCKET_H
+#define CABA_COMMON_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace caba {
+namespace net {
+
+/** A parsed listen/connect address: UDS path or tcp:host:port. */
+struct Address
+{
+    bool tcp = false;
+    std::string host;   ///< TCP only.
+    int port = 0;       ///< TCP only.
+    std::string path;   ///< UDS only.
+
+    /** The canonical string form ("path" or "tcp:host:port"). */
+    std::string str() const;
+};
+
+/**
+ * Parses @p spec: "tcp:HOST:PORT" selects TCP, anything else is a
+ * Unix-domain socket path. @return false with @p *error set on a
+ * malformed TCP spec or an over-long UDS path (sun_path is 108 bytes).
+ */
+bool parseAddress(const std::string &spec, Address *out, std::string *error);
+
+/**
+ * Binds and listens on @p addr. A stale UDS path from a previous run is
+ * unlinked first. @return the listening fd, or -1 with @p *error set.
+ */
+int listenOn(const Address &addr, std::string *error);
+
+/** Connects to @p addr. @return fd, or -1 with @p *error set. */
+int connectTo(const Address &addr, std::string *error);
+
+/**
+ * Waits up to @p timeout_ms for a connection on @p listen_fd.
+ * @return the accepted fd, -1 on timeout (poll again), or -2 on a
+ * listener error (socket closed — stop accepting).
+ */
+int acceptClient(int listen_fd, int timeout_ms);
+
+/** Sets per-syscall send/receive timeouts on @p fd (slow-peer guard). */
+void setIoTimeout(int fd, int timeout_ms);
+
+/** Closes @p fd (ignores -1). */
+void closeFd(int fd);
+
+/** Removes a UDS socket file; no-op for TCP addresses. */
+void unlinkIfUds(const Address &addr);
+
+/** Writes one frame. @return false on any short write or error. */
+bool writeFrame(int fd, std::uint32_t type, const std::string &payload);
+
+/**
+ * Reads one frame. Rejects bad magic and payloads over @p max_len
+ * bytes. @return false with @p *error set on EOF, timeout, or a
+ * malformed frame.
+ */
+bool readFrame(int fd, std::uint32_t *type, std::string *payload,
+               std::uint64_t max_len, std::string *error);
+
+} // namespace net
+} // namespace caba
+
+#endif // CABA_COMMON_SOCKET_H

@@ -15,11 +15,11 @@ jsonOutPath(const std::string &bench, int argc, char **argv)
         const char *arg = argv[i];
         if (std::strncmp(arg, "--json=", 7) == 0)
             return arg + 7;
-        if (std::strcmp(arg, "--json") != 0)
-            continue;
-        if (i + 1 < argc && argv[i + 1][0] != '-')
-            return argv[i + 1];
-        return "bench_results/" + bench + ".json";
+        // Bare --json takes the default path and never consumes the
+        // next token (the greedy form used to eat experiment names;
+        // see harness/bench_cli.h).
+        if (std::strcmp(arg, "--json") == 0)
+            return "bench_results/" + bench + ".json";
     }
     return std::string();
 }
@@ -118,6 +118,14 @@ BenchJson::BenchJson(std::string bench, std::string path)
 {
 }
 
+BenchJson
+BenchJson::capturing(std::string bench)
+{
+    BenchJson j(std::move(bench), std::string());
+    j.capture_ = true;
+    return j;
+}
+
 void
 BenchJson::addCell(const std::string &app, const std::string &design,
                    const RunResult &r)
@@ -198,12 +206,33 @@ BenchJson::endRow()
     row_.reset();
 }
 
+std::string
+BenchJson::document() const
+{
+    CABA_CHECK(!row_, "document with a row still open");
+    std::string doc = "{\"schema\":\"caba-bench-v1\",\"bench\":\"" +
+                      JsonWriter::escape(bench_) + "\",\"cells\":[";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += cells_[i];
+    }
+    doc += "],\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += rows_[i];
+    }
+    doc += "]}\n";
+    return doc;
+}
+
 void
 BenchJson::write() const
 {
-    if (!enabled())
+    if (path_.empty())
         return;
-    CABA_CHECK(!row_, "write with a row still open");
+    const std::string doc = document();
     const std::filesystem::path out(path_);
     std::error_code ec;
     if (out.has_parent_path())
@@ -214,15 +243,7 @@ BenchJson::write() const
                      path_.c_str());
         return;
     }
-    std::fprintf(f, "{\"schema\":\"caba-bench-v1\",\"bench\":\"%s\","
-                    "\"cells\":[",
-                 JsonWriter::escape(bench_).c_str());
-    for (std::size_t i = 0; i < cells_.size(); ++i)
-        std::fprintf(f, "%s%s", i ? "," : "", cells_[i].c_str());
-    std::fprintf(f, "],\"rows\":[");
-    for (std::size_t i = 0; i < rows_.size(); ++i)
-        std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
-    std::fprintf(f, "]}\n");
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::fprintf(stderr, "json: wrote %s\n", path_.c_str());
 }

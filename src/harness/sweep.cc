@@ -1,5 +1,6 @@
 #include "harness/sweep.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -79,6 +80,23 @@ Sweep::Sweep(const std::vector<AppDescriptor> &apps,
                        std::move(results[i]));
 }
 
+Sweep::Sweep(std::vector<NamedCell> cells)
+{
+    for (NamedCell &c : cells) {
+        if (std::find(app_names_.begin(), app_names_.end(), c.app) ==
+            app_names_.end())
+            app_names_.push_back(c.app);
+        if (std::find(design_names_.begin(), design_names_.end(),
+                      c.design) == design_names_.end())
+            design_names_.push_back(c.design);
+        const bool inserted =
+            cells_.emplace(std::make_pair(c.app, c.design),
+                           std::move(c.result))
+                .second;
+        CABA_CHECK(inserted, "sweep: duplicate (app, design) cell");
+    }
+}
+
 const RunResult &
 Sweep::at(const std::string &app, const std::string &design) const
 {
@@ -91,7 +109,14 @@ double
 Sweep::speedup(const std::string &app, const std::string &design,
                const std::string &base_design) const
 {
-    return static_cast<double>(at(app, base_design).cycles) /
+    const RunResult &base = at(app, base_design);
+    if (base.cycles == 0) {
+        const std::string msg =
+            "sweep: speedup base cell retired zero cycles (app=" + app +
+            ", base design=" + base_design + ")";
+        CABA_PANIC(msg.c_str());
+    }
+    return static_cast<double>(base.cycles) /
            static_cast<double>(at(app, design).cycles);
 }
 

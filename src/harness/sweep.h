@@ -45,10 +45,29 @@ class Sweep
           const std::function<ExperimentOptions(
               const DesignConfig &, const ExperimentOptions &)> &tweak = {});
 
+    /** One precomputed cell: (app name, design name, result). */
+    struct NamedCell
+    {
+        std::string app;
+        std::string design;
+        RunResult result;
+    };
+
+    /**
+     * Builds a sweep directly from precomputed cells without running
+     * anything (tests, and service responses assembled from cached
+     * results). App/design name order is first-appearance order;
+     * duplicate (app, design) pairs panic.
+     */
+    explicit Sweep(std::vector<NamedCell> cells);
+
     const RunResult &at(const std::string &app,
                         const std::string &design) const;
 
-    /** design/app cycles normalized to @p base_design (speedup). */
+    /** design/app cycles normalized to @p base_design (speedup).
+     *  Panics (with the offending names) when the base cell retired
+     *  zero cycles — a 0/0 or x/0 ratio would silently poison every
+     *  downstream geomean. */
     double speedup(const std::string &app, const std::string &design,
                    const std::string &base_design) const;
 

@@ -81,10 +81,11 @@ TEST(JsonOutPathTest, FlagForms)
     EXPECT_EQ(path({}), "");
     EXPECT_EQ(path({"--other"}), "");
     EXPECT_EQ(path({"--json"}), "bench_results/mybench.json");
-    EXPECT_EQ(path({"--json", "out.json"}), "out.json");
     EXPECT_EQ(path({"--json=custom/a.json"}), "custom/a.json");
-    // A following flag does not get eaten as the path.
+    // Regression: bare --json must never eat the following token as a
+    // path — neither a flag nor a bare word (an experiment name).
     EXPECT_EQ(path({"--json", "--verbose"}), "bench_results/mybench.json");
+    EXPECT_EQ(path({"--json", "fig07"}), "bench_results/mybench.json");
 }
 
 TEST(BenchJsonTest, DisabledIsNoOp)

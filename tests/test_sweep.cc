@@ -213,5 +213,43 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexAtAnyWidth)
     }
 }
 
+TEST(SweepNamedCellTest, BuildsFromPrecomputedCellsInFirstAppearanceOrder)
+{
+    RunResult fast;
+    fast.cycles = 100;
+    RunResult slow;
+    slow.cycles = 200;
+    Sweep sweep({{"appB", "Base", slow},
+                 {"appB", "CABA-BDI", fast},
+                 {"appA", "Base", slow},
+                 {"appA", "CABA-BDI", fast}});
+    EXPECT_EQ(sweep.appNames(), (std::vector<std::string>{"appB", "appA"}));
+    EXPECT_EQ(sweep.designNames(),
+              (std::vector<std::string>{"Base", "CABA-BDI"}));
+    EXPECT_DOUBLE_EQ(sweep.speedup("appA", "CABA-BDI", "Base"), 2.0);
+}
+
+TEST(SweepNamedCellTest, DuplicateCellPanics)
+{
+    RunResult r;
+    r.cycles = 1;
+    EXPECT_DEATH(Sweep({{"a", "d", r}, {"a", "d", r}}),
+                 "duplicate \\(app, design\\) cell");
+}
+
+TEST(SweepSpeedupTest, ZeroCycleBaseCellPanicsWithNames)
+{
+    // A base cell that retired zero cycles would make every speedup an
+    // x/0 (or 0/0) and silently poison downstream geomeans; the guard
+    // must name the offending cell.
+    RunResult zero;
+    zero.cycles = 0;
+    RunResult fine;
+    fine.cycles = 42;
+    Sweep sweep({{"PVC", "Base", zero}, {"PVC", "CABA-BDI", fine}});
+    EXPECT_DEATH(sweep.speedup("PVC", "CABA-BDI", "Base"),
+                 "zero cycles.*app=PVC.*base design=Base");
+}
+
 } // namespace
 } // namespace caba

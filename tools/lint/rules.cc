@@ -32,9 +32,10 @@ inSrc(const std::string &path)
 
 /** Files allowed to touch wall clocks / entropy: the seeded RNG itself,
  *  the stderr-only self-profiler, the in-loop profiler (host-time
- *  attribution that never reads simulation state), and the trace sink
+ *  attribution that never reads simulation state), the trace sink
  *  (whose timestamps are simulated cycles; the whitelist covers its
- *  atexit machinery). */
+ *  atexit machinery), and the sweep service (request deadlines and
+ *  per-request wall time — never simulation state). */
 bool
 determinismWhitelisted(const std::string &path)
 {
@@ -44,6 +45,7 @@ determinismWhitelisted(const std::string &path)
         "src/common/self_profile.cc",
         "src/common/prof.cc",
         "src/common/trace.cc",
+        "src/harness/sweep_service.cc",
     };
     return allow.count(path) != 0;
 }
@@ -286,7 +288,8 @@ ruleDeterminism(const LexedFile &f, const std::string &path,
             add(out, "determinism", path, t[i].line,
                 "std::chrono::" + t[i].text +
                     "::now() — wall-clock reads are banned outside "
-                    "common/self_profile.* and common/prof.cc");
+                    "the determinism whitelist (profilers and the "
+                    "sweep service)");
             continue;
         }
         if (isSortFn(t[i].text) && calls && !member) {

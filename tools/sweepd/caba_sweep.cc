@@ -1,0 +1,212 @@
+/**
+ * @file
+ * caba_sweep: thin client for caba_sweepd. Builds a caba-sweep-req-v1
+ * request (--experiment, or --apps/--designs cell lists, or --request
+ * for raw JSON passthrough), submits it, and writes the returned
+ * caba-bench-v1 document to stdout or --out. Per-request server stats
+ * land on stderr as one greppable line.
+ *
+ * Exit status: 0 on success, 2 when the server answered with a
+ * structured error (bad request, unknown experiment, queue_full,
+ * deadline_exceeded, ...), 1 on transport/usage failures.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/parse.h"
+#include "harness/sweep_service.h"
+
+namespace {
+
+using namespace caba;
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: caba_sweep [options]\n"
+        "\n"
+        "Submits one sweep request to a running caba_sweepd and writes\n"
+        "the caba-bench-v1 document to stdout (or --out PATH).\n"
+        "\n"
+        "options:\n"
+        "  --socket ADDR     daemon address: UDS path or tcp:HOST:PORT\n"
+        "                    (default: $CABA_SWEEPD_SOCKET)\n"
+        "  --experiment NAME registered experiment to run\n"
+        "  --apps A,B,...    cell-list form: app names (with --designs)\n"
+        "  --designs D,E,... cell-list form: design names (with --apps)\n"
+        "  --scale X         workload loop-trip multiplier\n"
+        "  --jobs N          sweep worker threads on the server\n"
+        "  --warps N         cap resident warps per SM\n"
+        "  --timeout-ms N    per-request deadline (overrides the "
+        "server's)\n"
+        "  --out PATH        write the document to PATH instead of "
+        "stdout\n"
+        "  --request FILE    send FILE's bytes as the request verbatim\n"
+        "                    (\"-\" reads stdin); bypasses the builder\n"
+        "  --help-env        list environment variables and exit\n"
+        "  -h, --help        this help\n");
+}
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "caba_sweep: %s\n\n", msg.c_str());
+    usage(stderr);
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::string piece =
+            s.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (!piece.empty())
+            out.push_back(piece);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+readWholeFile(const std::string &path, std::string *out)
+{
+    std::FILE *f =
+        path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out->append(buf, n);
+    if (f != stdin)
+        std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string address =
+        env::strOr("CABA_SWEEPD_SOCKET", "caba_sweepd.sock");
+    std::string out_path;
+    std::string request_file;
+    SweepRequestSpec spec;
+
+    const auto valueOf = [&](const std::string &flag, int &i) {
+        if (i + 1 >= argc)
+            usageError("flag " + flag + " needs a value");
+        return std::string(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--help-env") {
+            env::printHelp(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            address = valueOf(arg, i);
+        } else if (arg == "--experiment") {
+            spec.experiment = valueOf(arg, i);
+        } else if (arg == "--apps") {
+            spec.apps = splitCommas(valueOf(arg, i));
+        } else if (arg == "--designs") {
+            spec.designs = splitCommas(valueOf(arg, i));
+        } else if (arg == "--scale") {
+            const std::string v = valueOf(arg, i);
+            if (!parse::finitePositiveReal(v, &spec.scale))
+                usageError("--scale needs a finite positive number, "
+                           "got '" + v + "'");
+        } else if (arg == "--jobs" || arg == "--warps") {
+            const std::string v = valueOf(arg, i);
+            int n = 0;
+            if (!parse::intInRange(v, 0, &n))
+                usageError(arg + " needs a non-negative integer in int "
+                           "range, got '" + v + "'");
+            (arg == "--jobs" ? spec.jobs : spec.warps) = n;
+        } else if (arg == "--timeout-ms") {
+            const std::string v = valueOf(arg, i);
+            int n = 0;
+            if (!parse::intInRange(v, 0, &n))
+                usageError("--timeout-ms needs a non-negative integer");
+            spec.timeout_ms = n;
+        } else if (arg == "--out") {
+            out_path = valueOf(arg, i);
+        } else if (arg == "--request") {
+            request_file = valueOf(arg, i);
+        } else {
+            usageError("unknown flag '" + arg + "'");
+        }
+    }
+
+    std::string request_json;
+    if (!request_file.empty()) {
+        if (!spec.experiment.empty() || !spec.apps.empty() ||
+            !spec.designs.empty())
+            usageError("--request is exclusive with "
+                       "--experiment/--apps/--designs");
+        if (!readWholeFile(request_file, &request_json))
+            usageError("cannot read request file '" + request_file + "'");
+    } else {
+        const bool cells = !spec.apps.empty() || !spec.designs.empty();
+        if (spec.experiment.empty() && !cells)
+            usageError("pick --experiment NAME, --apps/--designs, or "
+                       "--request FILE");
+        if (!spec.experiment.empty() && cells)
+            usageError("--experiment is exclusive with "
+                       "--apps/--designs");
+        if (cells && (spec.apps.empty() || spec.designs.empty()))
+            usageError("cell-list requests need both --apps and "
+                       "--designs");
+        request_json = buildSweepRequestJson(spec);
+    }
+
+    SweepReply reply;
+    std::string error;
+    if (!submitSweepRequest(address, request_json, &reply, &error)) {
+        std::fprintf(stderr, "caba_sweep: %s\n", error.c_str());
+        return 1;
+    }
+    if (!reply.ok) {
+        std::fprintf(stderr, "caba_sweep: server error %s: %s\n",
+                     reply.code.c_str(), reply.message.c_str());
+        return 2;
+    }
+
+    std::fprintf(stderr,
+                 "[sweep] status=ok queue_depth=%llu simulations=%llu "
+                 "cache_served=%llu wall_ms=%llu payload_bytes=%llu\n",
+                 static_cast<unsigned long long>(reply.queue_depth),
+                 static_cast<unsigned long long>(reply.simulations),
+                 static_cast<unsigned long long>(reply.cache_served),
+                 static_cast<unsigned long long>(reply.wall_ms),
+                 static_cast<unsigned long long>(reply.payload.size()));
+
+    if (out_path.empty()) {
+        std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
+    } else {
+        std::FILE *f = std::fopen(out_path.c_str(), "wb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "caba_sweep: cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::fwrite(reply.payload.data(), 1, reply.payload.size(), f);
+        std::fclose(f);
+    }
+    return 0;
+}
