@@ -8,7 +8,6 @@
 
 #include "common/env.h"
 #include "common/log.h"
-#include "mem/request.h"
 
 namespace caba {
 
@@ -80,68 +79,6 @@ reqStageName(ReqStage s)
       case ReqStage::XbarReply: return "xbar_reply";
     }
     return "unknown";
-}
-
-std::uint64_t
-Audit::key(const MemRequest &req)
-{
-    // Ids are a per-SM sequence, so (id, src_sm) is unique system-wide.
-    return (req.id << 8) | static_cast<std::uint64_t>(req.src_sm & 0xff);
-}
-
-void
-Audit::onInject(const MemRequest &req, Cycle now)
-{
-    if (!enabled())
-        return;
-    ++injected_;
-    Tracked t;
-    t.stage = ReqStage::Injected;
-    t.injected = now;
-    t.line = req.line;
-    t.is_write = req.is_write;
-    const auto [it, fresh] = live_.emplace(key(req), t);
-    (void)it;
-    if (!fresh) {
-        std::ostringstream os;
-        os << "lifecycle: duplicate injection of request id " << req.id
-           << " from SM " << req.src_sm;
-        fail(os.str());
-    }
-}
-
-void
-Audit::onStage(const MemRequest &req, ReqStage stage)
-{
-    if (!enabled())
-        return;
-    auto it = live_.find(key(req));
-    if (it == live_.end()) {
-        std::ostringstream os;
-        os << "lifecycle: request id " << req.id << " from SM "
-           << req.src_sm << " reached stage " << reqStageName(stage)
-           << " without being injected";
-        fail(os.str());
-        return;
-    }
-    it->second.stage = stage;
-}
-
-void
-Audit::onRetire(const MemRequest &req)
-{
-    if (!enabled())
-        return;
-    auto it = live_.find(key(req));
-    if (it == live_.end()) {
-        std::ostringstream os;
-        os << "lifecycle: request id " << req.id << " from SM "
-           << req.src_sm << " retired twice (or never injected)";
-        fail(os.str());
-        return;
-    }
-    live_.erase(it);
-    ++retired_;
 }
 
 void

@@ -20,6 +20,7 @@
 #define CABA_COMMON_AUDIT_H
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,8 +28,6 @@
 #include "common/types.h"
 
 namespace caba {
-
-struct MemRequest;
 
 /** How often invariants are evaluated. */
 enum class AuditLevel : std::uint8_t { Off, EndOfRun, Periodic };
@@ -95,16 +94,72 @@ class Audit
     const AuditConfig &config() const { return cfg_; }
 
     // -- request lifecycle --
+    //
+    // Templated on the request type so common/ stays below mem/ in the
+    // layer map (DESIGN.md §14): the audit needs only the id / src_sm /
+    // line / is_write fields, which any packet-shaped struct provides.
 
     /** A new request entered the memory system at @p now. */
-    void onInject(const MemRequest &req, Cycle now);
+    template <typename Req>
+    void
+    onInject(const Req &req, Cycle now)
+    {
+        if (!enabled())
+            return;
+        ++injected_;
+        Tracked t;
+        t.stage = ReqStage::Injected;
+        t.injected = now;
+        t.line = req.line;
+        t.is_write = req.is_write;
+        const auto [it, fresh] = live_.emplace(key(req), t);
+        (void)it;
+        if (!fresh) {
+            std::ostringstream os;
+            os << "lifecycle: duplicate injection of request id " << req.id
+               << " from SM " << req.src_sm;
+            fail(os.str());
+        }
+    }
 
     /** The request was seen alive at @p stage. */
-    void onStage(const MemRequest &req, ReqStage stage);
+    template <typename Req>
+    void
+    onStage(const Req &req, ReqStage stage)
+    {
+        if (!enabled())
+            return;
+        auto it = live_.find(key(req));
+        if (it == live_.end()) {
+            std::ostringstream os;
+            os << "lifecycle: request id " << req.id << " from SM "
+               << req.src_sm << " reached stage " << reqStageName(stage)
+               << " without being injected";
+            fail(os.str());
+            return;
+        }
+        it->second.stage = stage;
+    }
 
     /** The request left the memory system (reply consumed / store
      *  absorbed). */
-    void onRetire(const MemRequest &req);
+    template <typename Req>
+    void
+    onRetire(const Req &req)
+    {
+        if (!enabled())
+            return;
+        auto it = live_.find(key(req));
+        if (it == live_.end()) {
+            std::ostringstream os;
+            os << "lifecycle: request id " << req.id << " from SM "
+               << req.src_sm << " retired twice (or never injected)";
+            fail(os.str());
+            return;
+        }
+        live_.erase(it);
+        ++retired_;
+    }
 
     std::size_t liveRequests() const { return live_.size(); }
     std::uint64_t injected() const { return injected_; }
@@ -134,7 +189,13 @@ class Audit
         bool is_write = false;
     };
 
-    static std::uint64_t key(const MemRequest &req);
+    /** Ids are a per-SM sequence, so (id, src_sm) is unique system-wide. */
+    template <typename Req>
+    static std::uint64_t
+    key(const Req &req)
+    {
+        return (req.id << 8) | static_cast<std::uint64_t>(req.src_sm & 0xff);
+    }
 
     AuditConfig cfg_;
     std::unordered_map<std::uint64_t, Tracked> live_;

@@ -1,4 +1,4 @@
-#include "gpu/design.h"
+#include "compress/design.h"
 
 #include <string>
 

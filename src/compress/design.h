@@ -6,8 +6,8 @@
  * decompressed (dedicated MC logic, dedicated L1-fill logic, CABA assist
  * warps, or for free), and which overheads apply.
  */
-#ifndef CABA_GPU_DESIGN_H
-#define CABA_GPU_DESIGN_H
+#ifndef CABA_COMPRESS_DESIGN_H
+#define CABA_COMPRESS_DESIGN_H
 
 #include <string>
 
@@ -74,4 +74,4 @@ struct DesignConfig
 
 } // namespace caba
 
-#endif // CABA_GPU_DESIGN_H
+#endif // CABA_COMPRESS_DESIGN_H

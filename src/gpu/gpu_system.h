@@ -30,7 +30,7 @@
 #include "common/prof.h"
 #include "common/stats.h"
 #include "energy/energy_model.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "mem/backing_store.h"
 #include "mem/compression_model.h"
 #include "mem/partition.h"

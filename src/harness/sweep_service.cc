@@ -430,6 +430,7 @@ SweepService::queueDepth()
     return static_cast<int>(queue_.size());
 }
 
+// lint: stat-producer every service counter is registered through here
 void
 SweepService::bump(const char *counter, std::uint64_t delta)
 {

@@ -16,7 +16,7 @@
 #include "common/audit.h"
 #include "common/component.h"
 #include "common/stats.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "mem/cache.h"
 #include "mem/compression_model.h"
 #include "mem/dram.h"

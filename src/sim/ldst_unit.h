@@ -18,7 +18,7 @@
 #include "common/component.h"
 #include "mem/cache.h"
 #include "mem/request.h"
-#include "sim/kernel.h"
+#include "workloads/kernel.h"
 
 namespace caba {
 

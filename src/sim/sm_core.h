@@ -33,12 +33,12 @@
 #include "common/component.h"
 #include "common/rng.h"
 #include "common/stats.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "mem/backing_store.h"
 #include "mem/cache.h"
 #include "mem/compression_model.h"
 #include "mem/request.h"
-#include "sim/kernel.h"
+#include "workloads/kernel.h"
 #include "sim/ldst_unit.h"
 #include "sim/warp_scheduler.h"
 

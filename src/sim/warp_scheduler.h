@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "common/types.h"
-#include "sim/kernel.h"
+#include "workloads/kernel.h"
 
 namespace caba {
 

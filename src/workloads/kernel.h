@@ -5,8 +5,8 @@
  * global-memory access. Workloads implement this; the core stays
  * agnostic of how benchmarks are synthesized.
  */
-#ifndef CABA_SIM_KERNEL_H
-#define CABA_SIM_KERNEL_H
+#ifndef CABA_WORKLOADS_KERNEL_H
+#define CABA_WORKLOADS_KERNEL_H
 
 #include <cstdint>
 #include <vector>
@@ -54,4 +54,4 @@ class KernelInfo
 
 } // namespace caba
 
-#endif // CABA_SIM_KERNEL_H
+#endif // CABA_WORKLOADS_KERNEL_H

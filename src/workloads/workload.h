@@ -11,7 +11,7 @@
 #include <cstdint>
 
 #include "mem/backing_store.h"
-#include "sim/kernel.h"
+#include "workloads/kernel.h"
 #include "workloads/app.h"
 #include "workloads/occupancy.h"
 

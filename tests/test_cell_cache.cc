@@ -14,7 +14,7 @@
 #include <sstream>
 #include <string>
 
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "harness/cell_cache.h"
 #include "harness/runner.h"
 #include "workloads/app.h"

@@ -6,7 +6,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "gpu/design.h"
+#include "compress/design.h"
 
 namespace caba {
 namespace {

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/json.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "harness/json_export.h"
 #include "harness/sweep.h"
 #include "mini_json.h"

@@ -9,6 +9,7 @@
  * fake src/ paths so the src-only rules (iteration-order,
  * check-discipline, stat-hygiene) apply to them.
  */
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -43,12 +44,13 @@ slurp(const std::string &path)
     return ss.str();
 }
 
-/** Loads a fixture and poses it as a file under src/. */
+/** Loads a fixture and poses it as a file under src/common/ (a mapped
+ *  layer, so the layering rule stays quiet about the pose itself). */
 SourceFile
 fixture(const std::string &name)
 {
     SourceFile f;
-    f.path = "src/" + name;
+    f.path = "src/common/" + name;
     f.text = slurp(std::string(CABA_LINT_FIXTURE_DIR) + "/" + name);
     return f;
 }
@@ -68,7 +70,7 @@ TEST(Lint, DeterminismClockAndRandSources)
     EXPECT_EQ(findings.size(), 7u);
     for (const Finding &f : findings) {
         EXPECT_EQ(f.rule, "determinism");
-        EXPECT_EQ(f.file, "src/det_clocks.cc");
+        EXPECT_EQ(f.file, "src/common/det_clocks.cc");
         EXPECT_GT(f.line, 0);
     }
 }
@@ -134,6 +136,7 @@ TEST(Lint, CheckDisciplineBareAssert)
     ASSERT_EQ(findings.size(), 2u);
     for (const Finding &f : findings) {
         EXPECT_EQ(f.rule, "check-discipline");
+        // lint: not-env CABA_CHECK is the assertion macro, not a knob
         EXPECT_NE(f.message.find("CABA_CHECK"), std::string::npos);
     }
 }
@@ -271,6 +274,247 @@ TEST(Lint, BaselineRoundTrip)
     caba::lint::applyBaseline(findings, baseline, &fresh, &matched);
     EXPECT_TRUE(fresh.empty());
     EXPECT_EQ(matched.size(), 2u);
+}
+
+TEST(Lint, RuleNamesCoverAllRules)
+{
+    const auto &names = caba::lint::ruleNames();
+    EXPECT_EQ(names.size(), 11u);
+    for (const char *expect :
+         {"include-cycle", "layering", "env-drift", "stat-drift",
+          "lock-discipline"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expect),
+                  names.end())
+            << expect;
+}
+
+TEST(Lint, IncludeCycleDetected)
+{
+    SourceFile a{"src/common/a.h", "#include \"common/b.h\"\n"};
+    SourceFile b{"src/common/b.h", "#include \"common/c.h\"\n"};
+    SourceFile c{"src/common/c.h", "#include \"common/a.h\"\n"};
+    caba::lint::Options opts;
+    opts.rules = {"include-cycle"};
+    auto findings = caba::lint::run({a, b, c}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "include-cycle");
+    // Anchored at the lexicographically smallest member's include.
+    EXPECT_EQ(findings[0].file, "src/common/a.h");
+    EXPECT_EQ(findings[0].line, 1);
+    for (const char *member :
+         {"src/common/a.h", "src/common/b.h", "src/common/c.h"})
+        EXPECT_NE(findings[0].message.find(member), std::string::npos)
+            << findings[0].message;
+
+    // Acyclic control: breaking the back edge clears the finding.
+    c.text = "";
+    EXPECT_TRUE(caba::lint::run({a, b, c}, opts).empty());
+}
+
+TEST(Lint, IncludeSelfCycle)
+{
+    SourceFile s{"src/common/s.h", "#include \"common/s.h\"\n"};
+    caba::lint::Options opts;
+    opts.rules = {"include-cycle"};
+    auto findings = caba::lint::run({s}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("1 file(s)"), std::string::npos);
+}
+
+TEST(Lint, LayeringViolationDirections)
+{
+    // common(0) -> mem(2) and mem(2) -> gpu(3) point up: two findings.
+    // gpu(3) -> common(0) points down and is fine.
+    SourceFile common_up{"src/common/up.h", "#include \"mem/req.h\"\n"};
+    SourceFile mem_up{"src/mem/req.h", "#include \"gpu/sys.h\"\n"};
+    SourceFile gpu_down{"src/gpu/sys.h", "#include \"common/up.h\"\n"};
+    caba::lint::Options opts;
+    opts.rules = {"layering"};
+    auto findings =
+        caba::lint::run({common_up, mem_up, gpu_down}, opts);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].file, "src/common/up.h");
+    EXPECT_EQ(findings[1].file, "src/mem/req.h");
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "layering");
+        EXPECT_NE(f.message.find("never up"), std::string::npos)
+            << f.message;
+    }
+
+    // Sideways (sim(3) -> gpu(3)) is legal.
+    SourceFile side{"src/sim/core.h", "#include \"gpu/sys.h\"\n"};
+    SourceFile gpu_plain{"src/gpu/sys.h", ""};
+    EXPECT_TRUE(caba::lint::run({side, gpu_plain}, opts).empty());
+}
+
+TEST(Lint, LayeringUnmappedSubdirIsAnError)
+{
+    SourceFile f{"src/newdir/x.h", ""};
+    caba::lint::Options opts;
+    opts.rules = {"layering"};
+    auto findings = caba::lint::run({f}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("not in the layer map"),
+              std::string::npos)
+        << findings[0].message;
+}
+
+TEST(Lint, EnvDriftUnregisteredLiteral)
+{
+    SourceFile reg{"src/common/env.cc",
+                   "const char *a = \"CABA_GOOD\";\n"};
+    SourceFile use{"src/gpu/use.cc",
+                   "const char *u = \"CABA_GOOD\";\n"
+                   "const char *v = \"CABA_BOGUS\";\n"
+                   "// lint: not-env a macro name, not a knob\n"
+                   "const char *w = \"CABA_NOTVAR\";\n"};
+    caba::lint::Options opts;
+    opts.rules = {"env-drift"};
+    auto findings = caba::lint::run({reg, use}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "env-drift");
+    EXPECT_EQ(findings[0].file, "src/gpu/use.cc");
+    EXPECT_EQ(findings[0].line, 2);
+    // lint: not-env the seeded fixture name, not a real knob
+    EXPECT_NE(findings[0].message.find("CABA_BOGUS"), std::string::npos);
+}
+
+TEST(Lint, EnvDriftReadmeDirection)
+{
+    SourceFile reg{"src/common/env.cc",
+                   "const char *a = \"CABA_GOOD\";\n"
+                   "const char *b = \"CABA_UNDOC\";\n"};
+    caba::lint::Options opts;
+    opts.rules = {"env-drift"};
+    opts.readme_text = "docs mention CABA_GOOD only";
+    auto findings = caba::lint::run({reg}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/common/env.cc");
+    EXPECT_EQ(findings[0].line, 2);
+    // lint: not-env the seeded fixture name, not a real knob
+    EXPECT_NE(findings[0].message.find("CABA_UNDOC"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("README"), std::string::npos);
+
+    opts.readme_text = "CABA_GOOD and CABA_UNDOC";
+    EXPECT_TRUE(caba::lint::run({reg}, opts).empty());
+}
+
+TEST(Lint, EnvDriftSkippedWithoutRegistry)
+{
+    // Fixture-style runs without src/common/env.cc can't know the
+    // registry; the rule must stay quiet rather than flag everything.
+    SourceFile f{"src/gpu/use.cc", "const char *v = \"CABA_ANYTHING\";\n"};
+    caba::lint::Options opts;
+    opts.rules = {"env-drift"};
+    EXPECT_TRUE(caba::lint::run({f}, opts).empty());
+}
+
+TEST(Lint, StatDriftOrphanRead)
+{
+    SourceFile prod{"src/gpu/prod.cc",
+                    "void f(S &s, S &o) {\n"
+                    "    s.add(\"hits\", 1);\n"
+                    "    s.mergePrefixed(o, \"l1_\");\n"
+                    "}\n"};
+    SourceFile cons{"src/caba/cons.cc",
+                    "void g(S &s) {\n"
+                    "    (void)s.get(\"hits\");\n"
+                    "    (void)s.get(\"l1_hits\");\n"
+                    "    (void)s.get(\"misses\");\n"
+                    "    // lint: stat-external deliberately absent\n"
+                    "    (void)s.get(\"gone\");\n"
+                    "}\n"};
+    caba::lint::Options opts;
+    opts.rules = {"stat-drift"};
+    auto findings = caba::lint::run({prod, cons}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "stat-drift");
+    EXPECT_EQ(findings[0].file, "src/caba/cons.cc");
+    EXPECT_EQ(findings[0].line, 4);
+    EXPECT_NE(findings[0].message.find("misses"), std::string::npos);
+}
+
+TEST(Lint, StatDriftRatioArgumentsAreReads)
+{
+    SourceFile prod{"src/gpu/prod.cc", "void f(S &s) { s.add(\"num\", 1); }\n"};
+    SourceFile cons{"src/caba/cons.cc",
+                    "double g(S &s) { return s.ratio(\"num\", \"den\"); }\n"};
+    caba::lint::Options opts;
+    opts.rules = {"stat-drift"};
+    auto findings = caba::lint::run({prod, cons}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("den"), std::string::npos);
+}
+
+TEST(Lint, StatDriftProducerWrapperAndNameTable)
+{
+    SourceFile wrap{"src/harness/w.cc",
+                    "// lint: stat-producer registry wrapper\n"
+                    "void bump(const char *n) { stats.add(n, 1); }\n"
+                    "void h() { bump(\"via_wrapper\"); }\n"
+                    "const char *const kNames[] = {\"tbl_a\", \"tbl_b\"};\n"};
+    SourceFile cons{"src/caba/r.cc",
+                    "void g(S &s) {\n"
+                    "    (void)s.get(\"via_wrapper\");\n"
+                    "    (void)s.get(\"tbl_a\");\n"
+                    "    (void)s.get(\"tbl_b\");\n"
+                    "}\n"};
+    caba::lint::Options opts;
+    opts.rules = {"stat-drift"};
+    EXPECT_TRUE(caba::lint::run({wrap, cons}, opts).empty());
+}
+
+TEST(Lint, LockDisciplineNakedLockAndSuppression)
+{
+    auto findings = caba::lint::run({fixture("lock_naked.cc")});
+    ASSERT_EQ(findings.size(), 2u);
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "lock-discipline");
+        EXPECT_NE(f.message.find("mu."), std::string::npos) << f.message;
+    }
+    // The annotated pair (lines 20/21) is suppressed; only bad() fires.
+    EXPECT_EQ(findings[0].line, 12);
+    EXPECT_EQ(findings[1].line, 13);
+}
+
+TEST(Lint, LockDisciplineSeesMutexAcrossFiles)
+{
+    // The declaration lives in one file, the naked lock in another: the
+    // cross-TU index is what makes the rule fire.
+    SourceFile decl{"src/common/state.h", "std::mutex service_mu;\n"};
+    SourceFile use{"src/gpu/use.cc", "void f() { service_mu.lock(); }\n"};
+    caba::lint::Options opts;
+    opts.rules = {"lock-discipline"};
+    auto findings = caba::lint::run({decl, use}, opts);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/gpu/use.cc");
+}
+
+TEST(Lint, RuleFilterRestrictsOutput)
+{
+    caba::lint::Options opts;
+    opts.rules = {"determinism"};
+    auto findings = caba::lint::run(
+        {fixture("det_clocks.cc"), fixture("stats_bad.cc")}, opts);
+    EXPECT_EQ(findings.size(), 7u);
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, "determinism");
+}
+
+TEST(Lint, ParallelMatchesSerialByteForByte)
+{
+    std::vector<SourceFile> files;
+    std::string err;
+    ASSERT_TRUE(caba::lint::collectTree(CABA_LINT_SOURCE_ROOT, &files, &err))
+        << err;
+    caba::lint::Options opts;
+    opts.jobs = 1;
+    const std::string serial = caba::lint::toText(caba::lint::run(files, opts));
+    for (int jobs : {2, 3, 8}) {
+        opts.jobs = jobs;
+        EXPECT_EQ(serial, caba::lint::toText(caba::lint::run(files, opts)))
+            << "findings differ at jobs=" << jobs;
+    }
 }
 
 TEST(Lint, SourceTreeIsClean)

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "harness/sweep.h"
 #include "workloads/app.h"
 

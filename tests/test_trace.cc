@@ -14,7 +14,7 @@
 #include <string>
 
 #include "common/trace.h"
-#include "gpu/design.h"
+#include "compress/design.h"
 #include "harness/runner.h"
 #include "mini_json.h"
 #include "workloads/app.h"

@@ -1,0 +1,30 @@
+// caba-lint fixture: naked mutex lock/unlock vs scoped guards.
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+
+void
+bad()
+{
+    mu.lock();   // finding 1
+    mu.unlock(); // finding 2
+}
+
+void
+annotated()
+{
+    // lint: manual-lock handed off across a callback boundary
+    mu.lock();
+    mu.unlock(); // lint: manual-lock released for the callback
+}
+
+void
+good()
+{
+    std::lock_guard<std::mutex> lk(mu);
+}
+
+} // namespace fixture

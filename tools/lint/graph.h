@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Include-graph extraction and architectural layering for caba-lint
+ * (DESIGN.md §14). Quoted includes are resolved against the linted file
+ * set itself (same-directory first, then the src/ root, then the repo
+ * root), so the graph is a pure function of the inputs — unit tests
+ * feed synthetic files, the tree walk feeds the real repo, and both go
+ * through identical code.
+ *
+ * Two rules consume the graph:
+ *  - include-cycle  strongly connected components among src/ headers
+ *                   and sources (a cycle means no valid build order and
+ *                   usually a leaked abstraction);
+ *  - layering       the explicit layer map below is the normative
+ *                   architecture contract: an include may point
+ *                   sideways (same layer) or down, never up.
+ *
+ * The layer map (level 0 at the bottom):
+ *   0  common                      depends on nothing
+ *   1  isa, compress, energy       on common
+ *   2  mem, workloads              above those
+ *   3  sim, gpu, caba              above mem
+ *   4  harness                     above sim
+ *   5  bench, tools, tests, examples   the top: may include anything
+ */
+#ifndef CABA_TOOLS_LINT_GRAPH_H
+#define CABA_TOOLS_LINT_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace caba {
+namespace lint {
+
+/** One resolved quoted include. */
+struct IncludeEdge
+{
+    std::string from;     ///< including file (repo-relative)
+    int line = 0;         ///< 1-based line of the #include
+    std::string include;  ///< the quoted spelling, verbatim
+    std::string to;       ///< resolved repo-relative path ("" = external)
+};
+
+/** The whole-program include graph over one lint input set. */
+struct IncludeGraph
+{
+    /** Every input path, sorted (the node set used for resolution). */
+    std::vector<std::string> nodes;
+
+    /** Quoted-include edges in (from, line) order. Unresolvable
+     *  includes (system headers spelled with quotes, generated files)
+     *  keep an empty @p to and are ignored by the rules. */
+    std::vector<IncludeEdge> edges;
+};
+
+/** Extracts `#include "..."` edges from @p files (raw text scan — the
+ *  lexer deliberately skips preprocessor lines). */
+IncludeGraph buildIncludeGraph(const std::vector<SourceFile> &files);
+
+/**
+ * Layer level of @p path per the map above, or -1 when the path is not
+ * covered (docs, files outside the walked roots). A src/ subdirectory
+ * missing from the map returns -2: the layer map is normative, so a new
+ * subsystem must be added to it (and to DESIGN.md §14) explicitly.
+ */
+int layerOf(const std::string &path);
+
+/** Human-readable layer tag for messages ("mem/2", "tools/5"). */
+std::string layerName(const std::string &path);
+
+/**
+ * Appends include-cycle findings: one per strongly connected component
+ * of two or more src/ files (or a self-include), anchored at the
+ * lexicographically smallest member's offending #include line.
+ */
+void ruleIncludeCycle(const IncludeGraph &graph, std::vector<Finding> &out);
+
+/**
+ * Appends layering findings: one per resolved edge whose source layer
+ * is below its target layer, plus one per src/ file whose subdirectory
+ * is absent from the layer map.
+ */
+void ruleLayering(const IncludeGraph &graph, std::vector<Finding> &out);
+
+/** GraphViz DOT rendering of the resolved graph (src/ plus the other
+ *  walked roots), clustered by top-level directory; deterministic. */
+std::string toDot(const IncludeGraph &graph);
+
+} // namespace lint
+} // namespace caba
+
+#endif // CABA_TOOLS_LINT_GRAPH_H

@@ -64,8 +64,19 @@ class Lexer
     void
     noteComment(const std::string &body, int line)
     {
-        if (body.find("lint: order-insensitive") != std::string::npos)
-            out_.order_insensitive_lines.insert(line);
+        // `lint: <tag> <reason>` — the tag is the maximal run of
+        // [a-z-] after the marker; the reason is free text for humans.
+        const std::size_t at = body.find("lint: ");
+        if (at == std::string::npos)
+            return;
+        std::size_t i = at + 6;
+        std::string tag;
+        while (i < body.size() &&
+               (std::islower(static_cast<unsigned char>(body[i])) ||
+                body[i] == '-'))
+            tag += body[i++];
+        if (!tag.empty())
+            out_.annotations[tag].insert(line);
     }
 
     /** Consumes to end of line, honoring backslash continuations. */

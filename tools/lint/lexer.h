@@ -12,6 +12,7 @@
 #ifndef CABA_TOOLS_LINT_LEXER_H
 #define CABA_TOOLS_LINT_LEXER_H
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,9 +43,31 @@ struct Token
 struct LexedFile
 {
     std::vector<Token> tokens;
-    /** Lines whose comments carry a `lint: order-insensitive`
-     *  annotation (the escape hatch for rule iteration-order). */
-    std::set<int> order_insensitive_lines;
+
+    /**
+     * Lines whose comments carry a `lint: <tag> <reason>` annotation,
+     * keyed by tag. Recognized tags (each a rule's escape hatch):
+     *   order-insensitive  iteration-order: loop result is order-free
+     *   not-env            env-drift: a CABA_* literal that is not an
+     *                      environment variable name
+     *   stat-external      stat-drift: a stat name read that is
+     *                      deliberately never produced (negative tests)
+     *   stat-producer      stat-drift: marks a wrapper function whose
+     *                      literal first argument registers a stat name
+     *   manual-lock        lock-discipline: a naked mutex lock/unlock
+     *                      that cannot be a scoped guard
+     */
+    std::map<std::string, std::set<int>> annotations;
+
+    /** True when @p line (or the line above it) carries @p tag. */
+    bool
+    annotated(const std::string &tag, int line) const
+    {
+        auto it = annotations.find(tag);
+        return it != annotations.end() &&
+               (it->second.count(line) != 0 ||
+                it->second.count(line - 1) != 0);
+    }
 };
 
 /** Lexes @p text; never fails (unknown bytes become 1-char puncts). */

@@ -26,7 +26,8 @@ namespace fs = std::filesystem;
 /** Rule ids in fixed report order. */
 const char *const kRules[] = {
     "determinism", "iteration-order", "env-access", "check-discipline",
-    "stat-hygiene", "experiment-registry",
+    "stat-hygiene", "experiment-registry", "include-cycle", "layering",
+    "env-drift", "stat-drift", "lock-discipline",
 };
 
 bool
@@ -60,13 +61,21 @@ baselineKey(const Finding &f)
 
 } // namespace
 
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names(std::begin(kRules),
+                                                std::end(kRules));
+    return names;
+}
+
 bool
-runTree(const std::string &root, std::vector<Finding> *out,
-        std::string *error)
+collectTree(const std::string &root, std::vector<SourceFile> *files,
+            std::string *error)
 {
     const fs::path base(root);
     std::vector<std::string> rel_paths;
-    for (const char *top : {"bench", "src", "tests"}) {
+    for (const char *top : {"bench", "examples", "src", "tests", "tools"}) {
         const fs::path dir = base / top;
         if (!fs::exists(dir)) {
             *error = "missing directory " + dir.string() +
@@ -77,23 +86,51 @@ runTree(const std::string &root, std::vector<Finding> *out,
             if (!entry.is_regular_file() ||
                 !lintableExtension(entry.path()))
                 continue;
-            rel_paths.push_back(
-                entry.path().lexically_relative(base).generic_string());
+            const std::string rel =
+                entry.path().lexically_relative(base).generic_string();
+            // The fixtures are deliberate violations for test_lint.
+            if (rel.rfind("tools/lint/fixtures/", 0) == 0)
+                continue;
+            rel_paths.push_back(rel);
         }
     }
     std::sort(rel_paths.begin(), rel_paths.end());
 
-    std::vector<SourceFile> files;
-    files.reserve(rel_paths.size());
+    files->clear();
+    files->reserve(rel_paths.size());
     for (const std::string &rel : rel_paths) {
         SourceFile f;
         f.path = rel;
         if (!readFile(base / rel, &f.text, error))
             return false;
-        files.push_back(std::move(f));
+        files->push_back(std::move(f));
     }
-    *out = run(files);
     return true;
+}
+
+bool
+runTree(const std::string &root, Options opts, std::vector<Finding> *out,
+        std::string *error)
+{
+    std::vector<SourceFile> files;
+    if (!collectTree(root, &files, error))
+        return false;
+    if (opts.readme_text.empty()) {
+        // Best-effort: a missing README just skips env-drift's
+        // documentation direction.
+        std::string readme, ignored;
+        if (readFile(fs::path(root) / "README.md", &readme, &ignored))
+            opts.readme_text = std::move(readme);
+    }
+    *out = run(files, opts);
+    return true;
+}
+
+bool
+runTree(const std::string &root, std::vector<Finding> *out,
+        std::string *error)
+{
+    return runTree(root, Options(), out, error);
 }
 
 std::string

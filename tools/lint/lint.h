@@ -1,7 +1,10 @@
 /**
  * @file
  * caba-lint — project-specific static analysis enforcing the
- * simulator's determinism and invariant contracts (see DESIGN.md §9).
+ * simulator's determinism and invariant contracts (see DESIGN.md §9 and
+ * §14). v2 is a whole-program analyzer: besides the per-file token
+ * rules it builds an include graph and a cross-TU identifier index over
+ * the entire input set.
  *
  * Rules (rule ids are stable; they appear in findings, baselines and
  * the JSON report):
@@ -10,7 +13,7 @@
  *                     std::chrono::*_clock::now and pointer-value
  *                     comparisons in sort predicates are banned outside
  *                     a whitelist (common/rng.h, common/self_profile.*,
- *                     common/trace.cc).
+ *                     common/trace.cc, harness/sweep_service.cc).
  *  - iteration-order  range-for over a variable declared as
  *                     std::unordered_map/set anywhere in the scanned
  *                     tree is flagged in src/ unless the line (or the
@@ -28,10 +31,25 @@
  *                     caba_bench CLI selectors and JSON "bench" ids)
  *                     must be snake_case and unique across the whole
  *                     tree — a duplicate panics at static-init time.
+ *  - include-cycle    strongly connected components in the quoted-
+ *                     include graph over src/ (tools/lint/graph.h).
+ *  - layering         includes must point sideways or down the layer
+ *                     map in DESIGN.md §14, never up.
+ *  - env-drift        every full-literal CABA_* string must name a
+ *                     variable registered in src/common/env.cc, and
+ *                     every registered knob must appear in README.md
+ *                     (tools/lint/index.h).
+ *  - stat-drift       stat names read via get/ratio/findDist/isGauge
+ *                     must be produced by some add/set/setCounter/dist
+ *                     site, modulo mergePrefixed prefixes — a silently
+ *                     renamed counter orphans its readers loudly.
+ *  - lock-discipline  naked .lock()/.unlock() on mutex-typed variables;
+ *                     use lock_guard / scoped_lock / unique_lock.
  */
 #ifndef CABA_TOOLS_LINT_LINT_H
 #define CABA_TOOLS_LINT_LINT_H
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,18 +72,57 @@ struct SourceFile
     std::string text;
 };
 
+/** Driver options. The defaults reproduce a serial all-rules run. */
+struct Options
+{
+    /** Worker threads for lexing and the per-file rules. Findings are
+     *  merged in deterministic order, so output is byte-identical at
+     *  any job count; <= 1 runs inline with no pool. */
+    int jobs = 1;
+
+    /** Rule ids to run; empty = all. Names must come from ruleNames(). */
+    std::set<std::string> rules;
+
+    /** README.md contents for env-drift's documentation direction
+     *  ("" = skip that direction). runTree fills this from
+     *  <root>/README.md when left empty. */
+    std::string readme_text;
+};
+
+/** Every rule id, in fixed report order. */
+const std::vector<std::string> &ruleNames();
+
 /**
- * Lints @p files as one project: pass 1 collects the names of every
- * variable declared with an unordered container type, pass 2 applies
- * all rules per file. Findings are sorted by (file, line, rule).
+ * Lints @p files as one program: pass 1 lexes (parallel across
+ * opts.jobs workers), pass 2 builds the cross-file structures (unordered
+ * names, experiment registrations, include graph, identifier index),
+ * pass 3 applies the per-file rules (parallel), pass 4 the
+ * whole-program rules. Findings are sorted by (file, line, rule,
+ * message) regardless of job count.
  */
+std::vector<Finding> run(const std::vector<SourceFile> &files,
+                         const Options &opts);
+
+/** run() with default options (serial, all rules). */
 std::vector<Finding> run(const std::vector<SourceFile> &files);
 
 /**
- * Reads .h, .cc and .cpp files under <root>/bench, <root>/src and
- * <root>/tests (lexicographic walk, so results are machine-independent)
- * and lints them. On I/O failure returns false and sets @p error.
+ * Reads .h, .cc and .cpp files under <root>/{bench, examples, src,
+ * tests, tools} (lexicographic walk, so results are machine-independent),
+ * skipping tools/lint/fixtures/ (deliberate violations). Sets @p *files.
+ * On I/O failure returns false and sets @p error.
  */
+bool collectTree(const std::string &root, std::vector<SourceFile> *files,
+                 std::string *error);
+
+/**
+ * collectTree + run. When @p opts.readme_text is empty, <root>/README.md
+ * is read for env-drift (a missing README skips that direction).
+ */
+bool runTree(const std::string &root, Options opts,
+             std::vector<Finding> *out, std::string *error);
+
+/** runTree with default options. */
 bool runTree(const std::string &root, std::vector<Finding> *out,
              std::string *error);
 

@@ -1,10 +1,14 @@
 /**
  * @file
  * caba-lint CLI. Exit codes: 0 = clean (every finding baselined),
- * 1 = non-baselined findings, 2 = usage or I/O error.
+ * 1 = non-baselined findings, 2 = usage or I/O error. Unknown or
+ * malformed flags are hard errors — a typoed --rule silently linting
+ * nothing would defeat the gate.
  *
  *   caba-lint --root . --baseline tools/lint/baseline.json --json=report.json
+ *   caba-lint --rule layering --rule include-cycle --dot=includes.dot
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,6 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
+#include "common/parse.h"
+#include "common/thread_pool.h"
+#include "graph.h"
 #include "lint.h"
 
 namespace {
@@ -22,13 +30,34 @@ usage()
     std::fprintf(
         stderr,
         "usage: caba-lint [--root DIR] [--baseline FILE] [--json[=PATH]]\n"
-        "  --root DIR       repo root to scan (bench/, src/ and tests/; "
-        "default .)\n"
+        "                 [--rule NAME]... [--list-rules] [--jobs N]\n"
+        "                 [--dot PATH]\n"
+        "  --root DIR       repo root to scan (bench/, examples/, src/,\n"
+        "                   tests/ and tools/; default .)\n"
         "  --baseline FILE  accepted findings (default ROOT/tools/lint/\n"
         "                   baseline.json when present)\n"
         "  --json[=PATH]    write the caba-lint-v1 JSON report to PATH\n"
-        "                   (stdout when no PATH; suppresses text output)\n");
+        "                   (stdout when no PATH; suppresses text output)\n"
+        "  --rule NAME      run only the named rule (repeatable; see\n"
+        "                   --list-rules)\n"
+        "  --list-rules     print every rule id and exit\n"
+        "  --jobs N         worker threads (default CABA_JOBS, else all\n"
+        "                   cores; output is identical at any N)\n"
+        "  --dot PATH       also write the resolved include graph as\n"
+        "                   GraphViz DOT to PATH\n");
     return 2;
+}
+
+bool
+readWholeFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
 }
 
 } // namespace
@@ -40,6 +69,10 @@ main(int argc, char **argv)
     std::string baseline_path;
     bool emit_json = false;
     std::string json_path;
+    std::string dot_path;
+    caba::lint::Options opts;
+    opts.jobs = caba::env::positiveIntOr("CABA_JOBS",
+                                         caba::ThreadPool::defaultWorkers());
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -52,17 +85,63 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             emit_json = true;
             json_path = arg.substr(7);
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : caba::lint::ruleNames())
+                std::fprintf(stdout, "%s\n", r.c_str());
+            return 0;
+        } else if (arg == "--rule" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            const auto &known = caba::lint::ruleNames();
+            if (std::find(known.begin(), known.end(), name) == known.end()) {
+                std::fprintf(stderr, "caba-lint: unknown rule '%s' "
+                             "(--list-rules prints the valid ids)\n",
+                             name.c_str());
+                return usage();
+            }
+            opts.rules.insert(name);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            int jobs = 0;
+            if (!caba::parse::intInRange(argv[++i], 1, &jobs)) {
+                std::fprintf(stderr,
+                             "caba-lint: --jobs wants a positive integer, "
+                             "got '%s'\n", argv[i]);
+                return usage();
+            }
+            opts.jobs = jobs;
+        } else if (arg == "--dot" && i + 1 < argc) {
+            dot_path = argv[++i];
+        } else if (arg.rfind("--dot=", 0) == 0) {
+            dot_path = arg.substr(6);
         } else {
+            std::fprintf(stderr, "caba-lint: unknown or malformed "
+                         "argument '%s'\n", arg.c_str());
             return usage();
         }
     }
 
     std::string error;
-    std::vector<caba::lint::Finding> findings;
-    if (!caba::lint::runTree(root, &findings, &error)) {
+    std::vector<caba::lint::SourceFile> files;
+    if (!caba::lint::collectTree(root, &files, &error)) {
         std::fprintf(stderr, "caba-lint: %s\n", error.c_str());
         return 2;
     }
+    // env-drift direction 2 wants the README; absence just skips it.
+    readWholeFile(root + "/README.md", &opts.readme_text);
+
+    if (!dot_path.empty()) {
+        const caba::lint::IncludeGraph graph =
+            caba::lint::buildIncludeGraph(files);
+        std::ofstream out(dot_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "caba-lint: cannot write %s\n",
+                         dot_path.c_str());
+            return 2;
+        }
+        out << caba::lint::toDot(graph);
+    }
+
+    const std::vector<caba::lint::Finding> findings =
+        caba::lint::run(files, opts);
 
     std::vector<caba::lint::Finding> baseline;
     if (baseline_path.empty()) {
@@ -71,15 +150,13 @@ main(int argc, char **argv)
             baseline_path = candidate;
     }
     if (!baseline_path.empty()) {
-        std::ifstream in(baseline_path);
-        if (!in) {
+        std::string text;
+        if (!readWholeFile(baseline_path, &text)) {
             std::fprintf(stderr, "caba-lint: cannot read baseline %s\n",
                          baseline_path.c_str());
             return 2;
         }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        if (!caba::lint::parseBaseline(ss.str(), &baseline, &error)) {
+        if (!caba::lint::parseBaseline(text, &baseline, &error)) {
             std::fprintf(stderr, "caba-lint: %s: %s\n",
                          baseline_path.c_str(), error.c_str());
             return 2;

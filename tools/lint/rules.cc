@@ -10,6 +10,9 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
+#include "graph.h"
+#include "index.h"
 #include "lexer.h"
 #include "lint.h"
 
@@ -369,8 +372,7 @@ collectUnorderedNames(const LexedFile &f, std::set<std::string> &names)
 bool
 annotated(const LexedFile &f, int line)
 {
-    return f.order_insensitive_lines.count(line) != 0 ||
-           f.order_insensitive_lines.count(line - 1) != 0;
+    return f.annotated("order-insensitive", line);
 }
 
 void
@@ -570,6 +572,7 @@ collectExperimentRegistrations(const LexedFile &f, const std::string &path,
 {
     const auto &t = f.tokens;
     for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        // lint: not-env the registration macro's name, not a knob
         if (!t[i].ident("CABA_REGISTER_EXPERIMENT") || !t[i + 1].punct("("))
             continue;
         if (t[i + 2].kind != Token::Ident || !t[i + 3].punct(")"))
@@ -614,38 +617,84 @@ ruleExperimentRegistry(std::vector<ExperimentRegistration> regs,
     }
 }
 
+bool
+enabled(const Options &opts, const char *rule)
+{
+    return opts.rules.empty() || opts.rules.count(rule) != 0;
+}
+
 } // namespace
 
 std::vector<Finding>
-run(const std::vector<SourceFile> &files)
+run(const std::vector<SourceFile> &files, const Options &opts)
 {
-    std::vector<std::pair<const SourceFile *, LexedFile>> lexed;
-    lexed.reserve(files.size());
+    const int n = static_cast<int>(files.size());
+
+    // Pass 1: lex, embarrassingly parallel, results indexed by file so
+    // ordering cannot depend on scheduling.
+    std::vector<LexedFile> lexed(files.size());
+    parallelFor(n, opts.jobs,
+                [&](int i) { lexed[static_cast<std::size_t>(i)] =
+                                 lex(files[static_cast<std::size_t>(i)].text); });
+
+    // Pass 2 (serial): the cross-file structures every later pass reads.
     std::set<std::string> unordered_names;
     std::vector<ExperimentRegistration> registrations;
-    for (const SourceFile &f : files) {
-        lexed.emplace_back(&f, lex(f.text));
+    for (std::size_t i = 0; i < files.size(); ++i) {
         // Unordered declarations are collected from src/ only: a
         // test-local container must not poison same-named variables in
         // the simulator (the rule itself also only fires in src/).
-        if (inSrc(f.path))
-            collectUnorderedNames(lexed.back().second, unordered_names);
-        collectExperimentRegistrations(lexed.back().second, f.path,
+        if (inSrc(files[i].path))
+            collectUnorderedNames(lexed[i], unordered_names);
+        collectExperimentRegistrations(lexed[i], files[i].path,
                                        registrations);
     }
+    const IdentIndex index = buildIndex(files, lexed);
+
+    // Pass 3: per-file rules, parallel into per-file slots merged in
+    // file order — output is independent of the job count.
+    std::vector<std::vector<Finding>> per_file(files.size());
+    parallelFor(n, opts.jobs, [&](int idx) {
+        const std::size_t i = static_cast<std::size_t>(idx);
+        const std::string &path = files[i].path;
+        const LexedFile &lf = lexed[i];
+        std::vector<Finding> &slot = per_file[i];
+        if (enabled(opts, "determinism"))
+            ruleDeterminism(lf, path, slot);
+        if (enabled(opts, "env-access"))
+            ruleEnvAccess(lf, path, slot);
+        if (enabled(opts, "lock-discipline"))
+            ruleLockDiscipline(lf, path, index, slot);
+        if (inSrc(path)) {
+            if (enabled(opts, "iteration-order"))
+                ruleIterationOrder(lf, path, unordered_names, slot);
+            if (enabled(opts, "check-discipline"))
+                ruleCheckDiscipline(lf, path, slot);
+            if (enabled(opts, "stat-hygiene"))
+                ruleStatHygiene(lf, path, slot);
+        }
+    });
 
     std::vector<Finding> out;
-    for (const auto &[src, lf] : lexed) {
-        const std::string &path = src->path;
-        ruleDeterminism(lf, path, out);
-        ruleEnvAccess(lf, path, out);
-        if (inSrc(path)) {
-            ruleIterationOrder(lf, path, unordered_names, out);
-            ruleCheckDiscipline(lf, path, out);
-            ruleStatHygiene(lf, path, out);
-        }
+    for (std::vector<Finding> &slot : per_file)
+        for (Finding &f : slot)
+            out.push_back(std::move(f));
+
+    // Pass 4 (serial): whole-program rules.
+    if (enabled(opts, "experiment-registry"))
+        ruleExperimentRegistry(std::move(registrations), out);
+    if (enabled(opts, "include-cycle") || enabled(opts, "layering")) {
+        const IncludeGraph graph = buildIncludeGraph(files);
+        if (enabled(opts, "include-cycle"))
+            ruleIncludeCycle(graph, out);
+        if (enabled(opts, "layering"))
+            ruleLayering(graph, out);
     }
-    ruleExperimentRegistry(std::move(registrations), out);
+    if (enabled(opts, "env-drift"))
+        ruleEnvDrift(index, opts.readme_text, out);
+    if (enabled(opts, "stat-drift"))
+        ruleStatDrift(index, out);
+
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
@@ -657,6 +706,12 @@ run(const std::vector<SourceFile> &files)
                   return a.message < b.message;
               });
     return out;
+}
+
+std::vector<Finding>
+run(const std::vector<SourceFile> &files)
+{
+    return run(files, Options());
 }
 
 } // namespace lint
